@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of the computational kernels every
+//! experiment rides on: the Jacobi SVD, tensor contraction,
+//! statevector gate kernels, decision-diagram application and the
+//! noise decomposition itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qns_circuit::{Gate, Operation};
+use qns_core::NoiseSvd;
+use qns_linalg::{c64, Matrix};
+use qns_noise::channels;
+use qns_sim::kernels as svk;
+use qns_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_matrix(rng: &mut StdRng, n: usize) -> Matrix {
+    let data = (0..n * n)
+        .map(|_| c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+        .collect();
+    Matrix::from_vec(n, n, data)
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [4usize, 8, 16] {
+        let m = random_matrix(&mut rng, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| qns_linalg::svd(black_box(m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_noise_decomposition(c: &mut Criterion) {
+    let ch = channels::thermal_relaxation(30.0, 40.0, 25.0);
+    c.bench_function("noise_svd_decompose", |b| {
+        b.iter(|| NoiseSvd::decompose(black_box(&ch)))
+    });
+    c.bench_function("superoperator_build", |b| {
+        b.iter(|| black_box(&ch).superoperator())
+    });
+    c.bench_function("noise_rate", |b| b.iter(|| black_box(&ch).noise_rate()));
+}
+
+fn bench_tensor_contraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_contract");
+    let mut rng = StdRng::seed_from_u64(2);
+    for k in [4usize, 6, 8] {
+        // Contract a rank-2k tensor pair over k axes of size 2.
+        let len = 1usize << (2 * k);
+        let data: Vec<_> = (0..len)
+            .map(|_| c64(rng.random_range(-1.0..1.0), 0.0))
+            .collect();
+        let a = Tensor::from_vec(data.clone(), vec![2; 2 * k]);
+        let b = Tensor::from_vec(data, vec![2; 2 * k]);
+        let axes_a: Vec<usize> = (0..k).collect();
+        let axes_b: Vec<usize> = (k..2 * k).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(2 * k),
+            &(a, b),
+            |bch, (a, b)| bch.iter(|| a.contract(black_box(b), &axes_a, &axes_b)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_statevector_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_gate");
+    for n in [10usize, 14, 18] {
+        let state = vec![c64(1.0, 0.0); 1 << n];
+        let h = Gate::H.matrix();
+        let cz = Gate::CZ.matrix();
+        group.bench_with_input(BenchmarkId::new("single", n), &n, |b, &n| {
+            b.iter_batched(
+                || state.clone(),
+                |mut s| svk::apply_single(&mut s, n, n / 2, &h),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("double", n), &n, |b, &n| {
+            b.iter_batched(
+                || state.clone(),
+                |mut s| svk::apply_double(&mut s, n, 1, n - 2, &cz),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_dd_apply(c: &mut Criterion) {
+    c.bench_function("dd_gate_apply_ghz12", |b| {
+        b.iter(|| {
+            let mut man = qns_tdd::DdManager::new(12);
+            let mut state = man.basis_vector(0);
+            for op in qns_circuit::generators::ghz(12).operations() {
+                let g = man.gate(op);
+                state = man.mul(g, state);
+            }
+            black_box(man.node_count(state))
+        })
+    });
+}
+
+fn bench_gate_expansion(c: &mut Criterion) {
+    let op = Operation::new(Gate::FSim(0.3, 0.2), vec![1, 3]);
+    c.bench_function("gate_matrix_fsim", |b| {
+        b.iter(|| black_box(&op).gate.matrix())
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_svd,
+    bench_noise_decomposition,
+    bench_tensor_contraction,
+    bench_statevector_kernels,
+    bench_dd_apply,
+    bench_gate_expansion
+);
+criterion_main!(kernels);

@@ -1,0 +1,102 @@
+//! Fig. 4 reproduction: runtime vs the number of noises.
+//!
+//! The paper sweeps 0–80 noises on `qaoa_100`: the TN-based exact
+//! method runs out of memory after ~30 noises while the level-1
+//! approximation's runtime stays linear in the noise count. At laptop
+//! scale we sweep a 4×4 (default) or larger (`--rows/--cols`) grid
+//! QAOA and report, per noise count, the exact method's runtime and
+//! peak intermediate tensor (its memory driver) against the
+//! approximation's runtime and contraction count.
+//!
+//! Usage:
+//!   cargo run -p qns-bench --release --bin fig4
+//!     [--rows R] [--cols C] [--rounds K] [--max-noise N] [--step S]
+
+use qns_bench::timing::time_it;
+use qns_bench::{arg_usize, print_row};
+use qns_circuit::generators::qaoa_grid_random;
+use qns_core::approx::{approximate_expectation, ApproxOptions};
+use qns_core::bounds;
+use qns_noise::{channels, NoisyCircuit};
+use qns_tnet::builder::ProductState;
+use qns_tnet::network::OrderStrategy;
+
+fn main() {
+    let threads = qns_bench::arg_usize("--threads", 1);
+    let rows = arg_usize("--rows", 4);
+    let cols = arg_usize("--cols", 4);
+    let rounds = arg_usize("--rounds", 2);
+    let max_noise = arg_usize("--max-noise", 80);
+    let step = arg_usize("--step", 10);
+
+    let circuit = qaoa_grid_random(rows, cols, rounds, 7);
+    let n = circuit.n_qubits();
+    let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
+    println!(
+        "Fig. 4 reproduction — qaoa_{n} ({rows}x{cols}, {rounds} rounds, {} gates), level-1 approximation",
+        circuit.gate_count()
+    );
+    println!("channel rate = {:.2e}\n", channel.noise_rate());
+
+    let widths = [8usize, 12, 16, 12, 14, 12];
+    print_row(
+        &[
+            "#noise".into(),
+            "TN time".into(),
+            "TN peak tensor".into(),
+            "ours time".into(),
+            "contractions".into(),
+            "|diff|".into(),
+        ],
+        &widths,
+    );
+
+    let psi = ProductState::all_zeros(n);
+    let v = ProductState::all_zeros(n);
+    let mut counts = vec![0usize];
+    counts.extend((step..=max_noise).step_by(step));
+    for noises in counts {
+        let noisy = if noises == 0 {
+            NoisyCircuit::noiseless(circuit.clone())
+        } else {
+            NoisyCircuit::inject_random(circuit.clone(), &channel, noises, 42)
+        };
+
+        let ((tn_val, stats), tn_t) = time_it(|| {
+            qns_tnet::simulator::expectation_with_stats(&noisy, &psi, &v, OrderStrategy::Greedy)
+        });
+
+        let (ours, ours_t) = time_it(|| {
+            approximate_expectation(
+                &noisy,
+                &psi,
+                &v,
+                &ApproxOptions {
+                    level: 1,
+                    threads,
+                    ..Default::default()
+                },
+            )
+        });
+
+        print_row(
+            &[
+                noises.to_string(),
+                format!("{tn_t:.3}s"),
+                stats.max_intermediate.to_string(),
+                format!("{ours_t:.3}s"),
+                bounds::contraction_count(noises, 1).to_string(),
+                format!("{:.2e}", (tn_val - ours.value).abs()),
+            ],
+            &widths,
+        );
+    }
+
+    println!(
+        "\nShape check vs the paper: the exact method's peak intermediate \
+         jumps by orders of magnitude once noise tensors bridge the \
+         double network (the paper's MO after 30 noises at 100 qubits), \
+         while the approximation's cost column grows exactly linearly \
+         (2·(1+3N) contractions of noise-free-sized networks)."
+    );
+}

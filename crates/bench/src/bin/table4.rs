@@ -1,0 +1,102 @@
+//! Table IV reproduction: accuracy and cost per approximation level.
+//!
+//! A QAOA circuit with 10 noises; `|ψ⟩ = |0…0⟩` and `|v⟩ = U|0…0⟩`
+//! (the ideal output), handled through the ideal-inverse rewriting.
+//! For each level 0–3 the harness reports runtime, the value `A(l)`,
+//! and the error against the exact result.
+//!
+//! Usage:
+//!   cargo run -p qns-bench --release --bin table4
+//!     [--rows 3] [--cols 3] [--noises 10]
+
+use qns_bench::registry::MM_QUBIT_LIMIT;
+use qns_bench::timing::time_it;
+use qns_bench::{arg_usize, print_row};
+use qns_circuit::generators::qaoa_grid_random;
+use qns_core::approx::{append_ideal_inverse, approximate_expectation, ApproxOptions};
+use qns_noise::{channels, NoisyCircuit};
+use qns_tnet::builder::ProductState;
+
+fn main() {
+    let threads = qns_bench::arg_usize("--threads", 1);
+    let rows = arg_usize("--rows", 3);
+    let cols = arg_usize("--cols", 3);
+    let n_noises = arg_usize("--noises", 10);
+    let max_level = arg_usize("--max-level", 3);
+
+    let circuit = qaoa_grid_random(rows, cols, 2, 64);
+    let n = circuit.n_qubits();
+    let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
+    let noisy = NoisyCircuit::inject_random(circuit.clone(), &channel, n_noises, 0xCAFE);
+
+    println!(
+        "Table IV reproduction — qaoa_{n} with {n_noises} noises, |v⟩ = U|0…0⟩ \
+         (rate = {:.2e})\n",
+        channel.noise_rate()
+    );
+
+    // Exact reference.
+    let reference = if n <= MM_QUBIT_LIMIT {
+        let ideal = qns_sim::statevector::run(&circuit, &qns_sim::statevector::zero_state(n));
+        qns_sim::density::expectation(&noisy, &qns_sim::statevector::zero_state(n), &ideal)
+    } else {
+        let ext = append_ideal_inverse(&noisy);
+        approximate_expectation(
+            &ext,
+            &ProductState::all_zeros(n),
+            &ProductState::all_zeros(n),
+            &ApproxOptions {
+                level: max_level + 1,
+                threads,
+                ..Default::default()
+            },
+        )
+        .value
+    };
+
+    let extended = append_ideal_inverse(&noisy);
+    let psi = ProductState::all_zeros(n);
+    let v = ProductState::all_zeros(n);
+
+    let widths = [6usize, 10, 14, 11, 14];
+    print_row(
+        &[
+            "Level".into(),
+            "Time".into(),
+            "Result".into(),
+            "Error".into(),
+            "Contractions".into(),
+        ],
+        &widths,
+    );
+    for level in 0..=max_level {
+        let (res, t) = time_it(|| {
+            approximate_expectation(
+                &extended,
+                &psi,
+                &v,
+                &ApproxOptions {
+                    level,
+                    threads,
+                    ..Default::default()
+                },
+            )
+        });
+        print_row(
+            &[
+                level.to_string(),
+                format!("{t:.2}s"),
+                format!("{:.7}", res.value),
+                format!("{:.2e}", (res.value - reference).abs()),
+                res.contractions.to_string(),
+            ],
+            &widths,
+        );
+    }
+
+    println!(
+        "\nShape check vs the paper: each extra level buys orders of \
+         magnitude in accuracy at a steeply growing contraction count; \
+         level 1 is the recommended operating point."
+    );
+}

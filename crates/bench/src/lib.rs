@@ -1,0 +1,47 @@
+//! Shared infrastructure for the experiment harnesses.
+//!
+//! Each paper table/figure has a binary in `src/bin` (`table2`,
+//! `table3`, `table4`, `fig4`, `fig5`, `fig6`); Criterion micro/macro
+//! benchmarks live in `benches/`. This library provides the common
+//! pieces: the scaled benchmark-circuit registry, timing helpers and
+//! plain-text table rendering.
+
+pub mod registry;
+pub mod timing;
+
+pub use registry::{BenchCircuit, Family};
+pub use timing::time_it;
+
+/// Prints a row of right-aligned columns with the given widths.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>w$} ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Reads an integer CLI flag of the form `--name value`.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a float CLI flag of the form `--name value`.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `true` when the flag is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}

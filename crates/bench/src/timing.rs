@@ -1,0 +1,39 @@
+//! Timing helpers for the harness binaries.
+
+use std::time::Instant;
+
+/// Runs `f`, returning its result and the wall-clock seconds it took.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Formats a seconds value like the paper's tables (`0.095`, `15.74`),
+/// or the given marker for `None` (timeout / memory-out).
+pub fn fmt_time(t: Option<f64>, marker: &str) -> String {
+    match t {
+        Some(s) if s < 10.0 => format!("{s:.3}"),
+        Some(s) => format!("{s:.2}"),
+        None => marker.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_result() {
+        let (v, t) = time_it(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn fmt_handles_markers() {
+        assert_eq!(fmt_time(None, "MO"), "MO");
+        assert_eq!(fmt_time(Some(0.1234), "MO"), "0.123");
+        assert_eq!(fmt_time(Some(42.0), "TO"), "42.00");
+    }
+}

@@ -1,0 +1,1021 @@
+//! The l-level approximation algorithm (paper, Algorithm 1).
+//!
+//! Every noise event's superoperator is expanded as
+//! `M_E = Σ_{i=0..3} U_i ⊗ V_i` ([`crate::NoiseSvd`]). A *substitution
+//! pattern* assigns one term to every noise; because each substituted
+//! noise is a Kronecker product, the double-size network of the paper
+//! factorizes into an upper network (the circuit with the `U` matrices
+//! spliced in) and a lower network (the conjugated circuit with the
+//! `V` matrices), whose scalar contractions multiply.
+//!
+//! The level-`l` approximation sums all patterns in which at most `l`
+//! noises take a sub-dominant term `i ∈ {1,2,3}`:
+//!
+//! ```text
+//! A(l) = Σ_{u=0..l}  Σ_{|S|=u}  Σ_{i_S ∈ {1,2,3}^u}   amp_up · amp_lo
+//! ```
+//!
+//! at `2·Σ_{u≤l} C(N,u)·3^u` single-size contractions (Theorem 1).
+
+use crate::noise_svd::NoiseSvd;
+use qns_circuit::Circuit;
+use qns_linalg::Complex64;
+use qns_noise::{NoiseEvent, NoisyCircuit};
+use qns_tnet::builder::{amplitude_network_with, Insertion, ProductState};
+use qns_tnet::network::OrderStrategy;
+
+/// Options for [`approximate_expectation`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproxOptions {
+    /// Approximation level `l` (0 = dominant terms only; `≥ N` = exact).
+    pub level: usize,
+    /// Contraction-order strategy for the split networks.
+    pub strategy: OrderStrategy,
+    /// Guard against accidental exponential blow-ups: the run panics if
+    /// it would evaluate more than this many substitution patterns.
+    pub max_terms: u128,
+    /// Worker threads for pattern evaluation (patterns are independent,
+    /// so the sum parallelizes embarrassingly — the paper's server runs
+    /// exploited exactly this). `0` or `1` evaluates sequentially.
+    pub threads: usize,
+}
+
+impl Default for ApproxOptions {
+    fn default() -> Self {
+        ApproxOptions {
+            level: 1,
+            strategy: OrderStrategy::Greedy,
+            max_terms: 20_000_000,
+            threads: 1,
+        }
+    }
+}
+
+/// Result of an approximation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ApproxResult {
+    /// The approximation `A(l)` of `⟨v|E_N(|ψ⟩⟨ψ|)|v⟩`.
+    pub value: f64,
+    /// Per-level contributions `T_0, …, T_l` (their sum is `value`).
+    pub per_level: Vec<f64>,
+    /// Number of substitution patterns evaluated.
+    pub terms_evaluated: usize,
+    /// Number of tensor-network contractions performed
+    /// (`2 × terms_evaluated`).
+    pub contractions: usize,
+}
+
+/// One noise site prepared for substitution.
+struct Site {
+    /// `after_gate` index for [`Insertion`] (`usize::MAX` = initial).
+    after_gate: usize,
+    qubit: usize,
+    svd: NoiseSvd,
+}
+
+fn collect_sites(noisy: &NoisyCircuit) -> Vec<Site> {
+    let mk = |after_gate: usize, e: &NoiseEvent| Site {
+        after_gate,
+        qubit: e.qubit,
+        svd: NoiseSvd::decompose(&e.kraus),
+    };
+    noisy
+        .initial_events()
+        .iter()
+        .map(|e| mk(usize::MAX, e))
+        .chain(noisy.events().iter().map(|e| mk(e.after_gate, e)))
+        .collect()
+}
+
+/// Evaluates one substitution pattern: `assignment[s]` picks the term
+/// for site `s`. Returns `amp_up · amp_lo`.
+fn evaluate_pattern(
+    circuit: &Circuit,
+    psi: &ProductState,
+    v: &ProductState,
+    sites: &[Site],
+    assignment: &[usize],
+    strategy: OrderStrategy,
+) -> Complex64 {
+    let mut upper = Vec::with_capacity(sites.len());
+    let mut lower = Vec::with_capacity(sites.len());
+    for (site, &term) in sites.iter().zip(assignment) {
+        let (u, vm) = site.svd.term(term);
+        upper.push(Insertion {
+            after_gate: site.after_gate,
+            qubit: site.qubit,
+            matrix: u.clone(),
+        });
+        // The lower network is built with `conjugate = true`, which
+        // conjugates the provided matrix; pre-conjugate so the network
+        // carries V itself.
+        lower.push(Insertion {
+            after_gate: site.after_gate,
+            qubit: site.qubit,
+            matrix: vm.conj(),
+        });
+    }
+    let amp_up = amplitude_network_with(circuit, psi, v, &upper, false)
+        .contract_all(strategy)
+        .0
+        .scalar_value();
+    let amp_lo = amplitude_network_with(circuit, psi, v, &lower, true)
+        .contract_all(strategy)
+        .0
+        .scalar_value();
+    amp_up * amp_lo
+}
+
+/// Iterates all `k`-subsets of `0..n` in lexicographic order, calling
+/// `f` for each.
+fn for_each_subset(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
+    if k > n {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        f(&idx);
+        // advance
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// The l-level approximation of `⟨v| E_N(|ψ⟩⟨ψ|) |v⟩`
+/// (paper, Algorithm 1).
+///
+/// `level ≥ N` reproduces the exact value (all `4^N` patterns).
+///
+/// # Panics
+///
+/// Panics if state sizes mismatch the circuit, or the configured
+/// [`ApproxOptions::max_terms`] guard would be exceeded.
+pub fn approximate_expectation(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    v: &ProductState,
+    opts: &ApproxOptions,
+) -> ApproxResult {
+    let circuit = noisy.circuit();
+    assert_eq!(psi.n_qubits(), circuit.n_qubits(), "input state size mismatch");
+    assert_eq!(v.n_qubits(), circuit.n_qubits(), "test state size mismatch");
+    let sites = collect_sites(noisy);
+    let n = sites.len();
+    let level = opts.level.min(n);
+
+    let planned: u128 = crate::bounds::contraction_count(n, level) / 2;
+    assert!(
+        planned <= opts.max_terms,
+        "level-{level} run needs {planned} patterns (> max_terms {}); \
+         lower the level or raise the guard",
+        opts.max_terms
+    );
+
+    let mut per_level = vec![0.0f64; level + 1];
+    let mut terms_evaluated = 0usize;
+
+    for u in 0..=level {
+        let patterns = enumerate_patterns(n, u);
+        terms_evaluated += patterns.len();
+        let tu = if opts.threads > 1 && patterns.len() > 1 {
+            evaluate_patterns_parallel(circuit, psi, v, &sites, &patterns, opts)
+        } else {
+            let mut acc = Complex64::ZERO;
+            let mut assignment = vec![0usize; n];
+            for pat in &patterns {
+                for (a, &p) in assignment.iter_mut().zip(pat.iter()) {
+                    *a = p as usize;
+                }
+                acc += evaluate_pattern(circuit, psi, v, &sites, &assignment, opts.strategy);
+            }
+            acc
+        };
+        per_level[u] = tu.re;
+    }
+
+    ApproxResult {
+        value: per_level.iter().sum(),
+        per_level,
+        terms_evaluated,
+        contractions: 2 * terms_evaluated,
+    }
+}
+
+/// Materializes all level-`u` substitution patterns over `n` sites as
+/// term-index vectors (`0` = dominant, `1..=3` = sub-dominant).
+fn enumerate_patterns(n: usize, u: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for_each_subset(n, u, |subset| {
+        let mut digits = vec![0usize; u];
+        loop {
+            let mut pat = vec![0u8; n];
+            for (d, &site_idx) in digits.iter().zip(subset) {
+                pat[site_idx] = (d + 1) as u8;
+            }
+            out.push(pat);
+            let mut pos = 0;
+            loop {
+                if pos == u {
+                    break;
+                }
+                digits[pos] += 1;
+                if digits[pos] < 3 {
+                    break;
+                }
+                digits[pos] = 0;
+                pos += 1;
+            }
+            if pos == u {
+                break;
+            }
+        }
+    });
+    out
+}
+
+/// Splits the pattern list across scoped worker threads and sums the
+/// per-pattern contributions.
+fn evaluate_patterns_parallel(
+    circuit: &Circuit,
+    psi: &ProductState,
+    v: &ProductState,
+    sites: &[Site],
+    patterns: &[Vec<u8>],
+    opts: &ApproxOptions,
+) -> Complex64 {
+    let workers = opts.threads.min(patterns.len()).max(1);
+    let chunk = patterns.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = patterns
+            .chunks(chunk)
+            .map(|chunk_patterns| {
+                scope.spawn(move || {
+                    let mut acc = Complex64::ZERO;
+                    let mut assignment = vec![0usize; sites.len()];
+                    for pat in chunk_patterns {
+                        for (a, &p) in assignment.iter_mut().zip(pat.iter()) {
+                            *a = p as usize;
+                        }
+                        acc +=
+                            evaluate_pattern(circuit, psi, v, sites, &assignment, opts.strategy);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .sum()
+    })
+}
+
+/// The level-`l` approximation evaluated **without** splitting: each
+/// substitution pattern replaces the noise tensors inside the
+/// double-size network by their Kronecker factors and contracts the
+/// full `2n`-rail network once.
+///
+/// Numerically identical to [`approximate_expectation`]; it exists to
+/// quantify the factorization benefit in isolation (the DESIGN.md
+/// ablation): the split evaluation contracts two single-size networks
+/// per pattern instead of one double-size network.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`approximate_expectation`].
+pub fn approximate_expectation_unsplit(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    v: &ProductState,
+    opts: &ApproxOptions,
+) -> ApproxResult {
+    use qns_tnet::builder::double_network;
+    use std::collections::HashMap;
+
+    let circuit = noisy.circuit();
+    assert_eq!(psi.n_qubits(), circuit.n_qubits(), "input state size mismatch");
+    assert_eq!(v.n_qubits(), circuit.n_qubits(), "test state size mismatch");
+    let sites = collect_sites(noisy);
+    let n = sites.len();
+    let n_regular = noisy.events().len();
+    let n_initial = noisy.initial_events().len();
+    let level = opts.level.min(n);
+
+    let planned: u128 = crate::bounds::contraction_count(n, level) / 2;
+    assert!(
+        planned <= opts.max_terms,
+        "level-{level} run needs {planned} patterns (> max_terms {})",
+        opts.max_terms
+    );
+
+    // Site index (initial-first ordering of `collect_sites`) → the
+    // replacement key used by `double_network` (regular events keyed by
+    // their index, initial events keyed after them).
+    let site_key = |s: usize| -> usize {
+        if s < n_initial {
+            n_regular + s
+        } else {
+            s - n_initial
+        }
+    };
+
+    let mut per_level = vec![0.0f64; level + 1];
+    let mut terms_evaluated = 0usize;
+    let mut assignment = vec![0usize; n];
+
+    for u in 0..=level {
+        let mut tu = Complex64::ZERO;
+        for_each_subset(n, u, |subset| {
+            let mut digits = vec![0usize; u];
+            loop {
+                for s in assignment.iter_mut() {
+                    *s = 0;
+                }
+                for (d, &site_idx) in digits.iter().zip(subset) {
+                    assignment[site_idx] = d + 1;
+                }
+                let mut repl = HashMap::new();
+                for (s, site) in sites.iter().enumerate() {
+                    let (a, b) = site.svd.term(assignment[s]);
+                    repl.insert(site_key(s), (a.clone(), b.clone()));
+                }
+                let val = double_network(noisy, psi, v, &repl)
+                    .contract_all(opts.strategy)
+                    .0
+                    .scalar_value();
+                tu += val;
+                terms_evaluated += 1;
+                let mut pos = 0;
+                loop {
+                    if pos == u {
+                        break;
+                    }
+                    digits[pos] += 1;
+                    if digits[pos] < 3 {
+                        break;
+                    }
+                    digits[pos] = 0;
+                    pos += 1;
+                }
+                if pos == u {
+                    break;
+                }
+            }
+        });
+        per_level[u] = tu.re;
+    }
+
+    ApproxResult {
+        value: per_level.iter().sum(),
+        per_level,
+        terms_evaluated,
+        contractions: terms_evaluated, // one double-size contraction each
+    }
+}
+
+/// Evaluates one substitution pattern with **asymmetric caps**: the
+/// upper (ket-side) network is capped with `x`, the lower
+/// (conjugate-side) network with `y` — producing one term of
+/// `⟨x|E(ρ)|y⟩ = (⟨x| ⊗ ⟨y*|)·M·(|ψ⟩ ⊗ |ψ*⟩)`.
+fn evaluate_pattern_element(
+    circuit: &Circuit,
+    psi: &ProductState,
+    x: &ProductState,
+    y: &ProductState,
+    sites: &[Site],
+    assignment: &[usize],
+    strategy: OrderStrategy,
+) -> Complex64 {
+    let mut upper = Vec::with_capacity(sites.len());
+    let mut lower = Vec::with_capacity(sites.len());
+    for (site, &term) in sites.iter().zip(assignment) {
+        let (u, vm) = site.svd.term(term);
+        upper.push(Insertion {
+            after_gate: site.after_gate,
+            qubit: site.qubit,
+            matrix: u.clone(),
+        });
+        lower.push(Insertion {
+            after_gate: site.after_gate,
+            qubit: site.qubit,
+            matrix: vm.conj(),
+        });
+    }
+    let amp_up = amplitude_network_with(circuit, psi, x, &upper, false)
+        .contract_all(strategy)
+        .0
+        .scalar_value();
+    let amp_lo = amplitude_network_with(circuit, psi, y, &lower, true)
+        .contract_all(strategy)
+        .0
+        .scalar_value();
+    amp_up * amp_lo
+}
+
+/// The l-level approximation of a general output-density-matrix
+/// element `⟨x| E_N(|ψ⟩⟨ψ|) |y⟩` (paper, Section III: "every element
+/// of `E_N(ρ₀)` can be independently estimated").
+///
+/// With `x == y` this reduces to [`approximate_expectation`]; the
+/// implementation simply caps the two split networks with different
+/// product states, which the superoperator form supports directly.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`approximate_expectation`].
+pub fn approximate_matrix_element(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    x: &ProductState,
+    y: &ProductState,
+    opts: &ApproxOptions,
+) -> Complex64 {
+    let circuit = noisy.circuit();
+    assert_eq!(psi.n_qubits(), circuit.n_qubits(), "input state size mismatch");
+    assert_eq!(x.n_qubits(), circuit.n_qubits(), "bra state size mismatch");
+    assert_eq!(y.n_qubits(), circuit.n_qubits(), "ket state size mismatch");
+    let sites = collect_sites(noisy);
+    let n = sites.len();
+    let level = opts.level.min(n);
+    let planned: u128 = crate::bounds::contraction_count(n, level) / 2;
+    assert!(
+        planned <= opts.max_terms,
+        "level-{level} run needs {planned} patterns (> max_terms {})",
+        opts.max_terms
+    );
+
+    let mut total = Complex64::ZERO;
+    let mut assignment = vec![0usize; n];
+    for u in 0..=level {
+        for pat in enumerate_patterns(n, u) {
+            for (a, &p) in assignment.iter_mut().zip(pat.iter()) {
+                *a = p as usize;
+            }
+            total += evaluate_pattern_element(
+                circuit,
+                psi,
+                x,
+                y,
+                &sites,
+                &assignment,
+                opts.strategy,
+            );
+        }
+    }
+    total
+}
+
+/// Reconstructs the full output density matrix of a noisy circuit by
+/// estimating every element with [`approximate_matrix_element`]
+/// (paper, Section III). Intended for small `n` — `4^n` element
+/// estimates.
+///
+/// # Panics
+///
+/// Panics if `n > 6` or under the underlying run's conditions.
+pub fn reconstruct_density(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    opts: &ApproxOptions,
+) -> qns_linalg::Matrix {
+    let n = noisy.n_qubits();
+    assert!(n <= 6, "density reconstruction is exponential; n ≤ 6");
+    let dim = 1usize << n;
+    let mut rho = qns_linalg::Matrix::zeros(dim, dim);
+    for r in 0..dim {
+        let x = ProductState::basis(n, r);
+        // Diagonal element plus upper triangle; fill lower by symmetry.
+        for c in r..dim {
+            let y = ProductState::basis(n, c);
+            let val = approximate_matrix_element(noisy, psi, &x, &y, opts);
+            rho[(r, c)] = val;
+            if c != r {
+                rho[(c, r)] = val.conj();
+            }
+        }
+    }
+    rho
+}
+
+/// Diagnostics attached to an automatic run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutoReport {
+    /// The level chosen by the Theorem-1 planner.
+    pub level: usize,
+    /// The a-priori error bound at that level.
+    pub bound: f64,
+    /// The largest per-event noise rate used in the planning.
+    pub noise_rate: f64,
+    /// The approximation result itself.
+    pub result: ApproxResult,
+}
+
+/// Plans the cheapest level whose Theorem-1 bound meets
+/// `target_error`, then runs [`approximate_expectation`] at that
+/// level.
+///
+/// # Errors
+///
+/// Returns `Err` with the smallest achievable bound when no level
+/// within the [`ApproxOptions::max_terms`] guard reaches the target.
+///
+/// # Panics
+///
+/// Panics on state-size mismatches (as the underlying run does).
+pub fn simulate_auto(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    v: &ProductState,
+    target_error: f64,
+    base: &ApproxOptions,
+) -> Result<AutoReport, f64> {
+    let n = noisy.noise_count();
+    let p = noisy.max_noise_rate();
+    let mut best_bound = f64::INFINITY;
+    for level in 0..=n {
+        let bound = crate::bounds::error_bound(n, p, level);
+        best_bound = best_bound.min(bound);
+        let patterns = crate::bounds::contraction_count(n, level) / 2;
+        if patterns > base.max_terms {
+            break;
+        }
+        if bound <= target_error {
+            let opts = ApproxOptions { level, ..*base };
+            let result = approximate_expectation(noisy, psi, v, &opts);
+            return Ok(AutoReport {
+                level,
+                bound,
+                noise_rate: p,
+                result,
+            });
+        }
+    }
+    Err(best_bound)
+}
+
+/// Rewrites Problem 1 with a non-product reference `|v⟩ = U_ideal|0…0⟩`
+/// into product form: appends the ideal circuit's inverse so that
+/// `⟨v|E(ρ)|v⟩ = ⟨0…0| (U† ∘ E)(ρ) |0…0⟩` — the construction used for
+/// the paper's Table IV, where `|v⟩` is the noiseless output state.
+pub fn append_ideal_inverse(noisy: &NoisyCircuit) -> NoisyCircuit {
+    let mut extended = noisy.circuit().clone();
+    let dag = noisy.circuit().dagger();
+    extended.extend(&dag);
+    let mut events = noisy.events().to_vec();
+    // positions are unchanged: noise stays inside the original prefix.
+    let mut rebuilt = NoisyCircuit::new(extended, events.drain(..).collect());
+    for e in noisy.initial_events() {
+        rebuilt.push_initial(e.qubit, e.kraus.clone());
+    }
+    rebuilt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_circuit::generators::{ghz, inst_grid, qaoa_ring, QaoaRound};
+    use qns_noise::channels;
+    use qns_sim::density;
+    use qns_sim::statevector;
+
+    fn exact(noisy: &NoisyCircuit, psi: &ProductState, v: &ProductState) -> f64 {
+        density::expectation(noisy, &psi.to_statevector(), &v.to_statevector())
+    }
+
+    fn opts(level: usize) -> ApproxOptions {
+        ApproxOptions {
+            level,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn noiseless_value_is_exact_probability() {
+        let noisy = NoisyCircuit::noiseless(ghz(3));
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b111);
+        let res = approximate_expectation(&noisy, &psi, &v, &opts(0));
+        assert!((res.value - 0.5).abs() < 1e-10);
+        assert_eq!(res.terms_evaluated, 1);
+    }
+
+    #[test]
+    fn full_level_reproduces_exact_value() {
+        // The central exactness property: level = N sums all 4^N
+        // patterns and must equal dense density-matrix simulation.
+        for (name, ch) in [
+            ("depolarizing", channels::depolarizing(0.05)),
+            ("amplitude_damping", channels::amplitude_damping(0.1)),
+            ("thermal", channels::thermal_relaxation(30.0, 40.0, 200.0)),
+        ] {
+            let noisy = NoisyCircuit::inject_random(ghz(3), &ch, 3, 11);
+            let psi = ProductState::all_zeros(3);
+            let v = ProductState::basis(3, 0b111);
+            let res = approximate_expectation(&noisy, &psi, &v, &opts(3));
+            let mm = exact(&noisy, &psi, &v);
+            assert!(
+                (res.value - mm).abs() < 1e-9,
+                "{name}: {} vs {}",
+                res.value,
+                mm
+            );
+            assert_eq!(res.terms_evaluated, 64); // 4^3
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_level() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(4),
+            &channels::depolarizing(5e-3),
+            4,
+            3,
+        );
+        let psi = ProductState::all_zeros(4);
+        let v = ProductState::basis(4, 0b1111);
+        let mm = exact(&noisy, &psi, &v);
+        let mut prev = f64::INFINITY;
+        for l in 0..=4 {
+            let res = approximate_expectation(&noisy, &psi, &v, &opts(l));
+            let err = (res.value - mm).abs();
+            assert!(
+                err <= prev * 1.5 + 1e-12,
+                "error grew at level {l}: {err} > {prev}"
+            );
+            prev = err.max(1e-15);
+        }
+        // level 4 (= N) is exact
+        let res = approximate_expectation(&noisy, &psi, &v, &opts(4));
+        assert!((res.value - mm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_one_beats_level_zero_on_qaoa() {
+        let rounds = [QaoaRound {
+            gamma: 0.4,
+            beta: 0.3,
+        }];
+        let c = qaoa_ring(4, &rounds);
+        let noisy =
+            NoisyCircuit::inject_random(c, &channels::depolarizing(1e-2), 4, 17);
+        let psi = ProductState::all_zeros(4);
+        let v = ProductState::all_zeros(4);
+        let mm = exact(&noisy, &psi, &v);
+        let e0 = (approximate_expectation(&noisy, &psi, &v, &opts(0)).value - mm).abs();
+        let e1 = (approximate_expectation(&noisy, &psi, &v, &opts(1)).value - mm).abs();
+        assert!(e1 < e0, "level-1 error {e1} not below level-0 error {e0}");
+    }
+
+    #[test]
+    fn theorem_1_bound_holds_empirically() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::depolarizing(2e-3),
+            3,
+            5,
+        );
+        let p = noisy.max_noise_rate();
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b111);
+        let mm = exact(&noisy, &psi, &v);
+        for l in 0..=2 {
+            let res = approximate_expectation(&noisy, &psi, &v, &opts(l));
+            let bound = crate::bounds::error_bound(3, p, l);
+            assert!(
+                (res.value - mm).abs() <= bound + 1e-12,
+                "level {l}: error {} exceeds bound {bound}",
+                (res.value - mm).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn contraction_count_matches_formula() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::depolarizing(1e-3),
+            4,
+            2,
+        );
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0);
+        for l in 0..=2 {
+            let res = approximate_expectation(&noisy, &psi, &v, &opts(l));
+            assert_eq!(
+                res.contractions as u128,
+                crate::bounds::contraction_count(4, l),
+                "level {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_level_contributions_sum_to_value() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::amplitude_damping(0.05),
+            3,
+            8,
+        );
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b111);
+        let res = approximate_expectation(&noisy, &psi, &v, &opts(2));
+        let sum: f64 = res.per_level.iter().sum();
+        assert!((sum - res.value).abs() < 1e-12);
+        // T_0 dominates for weak noise.
+        assert!(res.per_level[0].abs() > res.per_level[1].abs());
+    }
+
+    #[test]
+    fn works_on_supremacy_circuit() {
+        let c = inst_grid(2, 2, 6, 4);
+        let noisy =
+            NoisyCircuit::inject_random(c, &channels::thermal_relaxation(30.0, 40.0, 25.0), 3, 6);
+        let psi = ProductState::all_zeros(4);
+        let v = ProductState::basis(4, 0b1010);
+        let mm = exact(&noisy, &psi, &v);
+        let res = approximate_expectation(&noisy, &psi, &v, &opts(1));
+        assert!(
+            (res.value - mm).abs() < 1e-5,
+            "approx {} vs exact {}",
+            res.value,
+            mm
+        );
+    }
+
+    #[test]
+    fn ideal_inverse_trick_matches_direct_fidelity() {
+        // ⟨v|E(ρ)|v⟩ with v = U|0⟩ computed two ways.
+        let rounds = [QaoaRound {
+            gamma: 0.3,
+            beta: 0.2,
+        }];
+        let c = qaoa_ring(3, &rounds);
+        let noisy = NoisyCircuit::inject_random(c.clone(), &channels::depolarizing(5e-3), 2, 9);
+
+        // Direct: dense simulation with the non-product v.
+        let ideal = statevector::run(&c, &statevector::zero_state(3));
+        let direct = density::expectation(&noisy, &statevector::zero_state(3), &ideal);
+
+        // Trick: append U† and use v = |0…0⟩, exactly (level = N).
+        let extended = append_ideal_inverse(&noisy);
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::all_zeros(3);
+        let res = approximate_expectation(&extended, &psi, &v, &opts(2));
+        assert!(
+            (res.value - direct).abs() < 1e-9,
+            "trick {} vs direct {}",
+            res.value,
+            direct
+        );
+    }
+
+    #[test]
+    fn matrix_element_matches_density_sim() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::amplitude_damping(0.08),
+            3,
+            53,
+        );
+        let psi = ProductState::all_zeros(3);
+        let rho = density::run(&noisy, &psi.to_statevector());
+        for (xb, yb) in [(0usize, 0usize), (0, 7), (7, 0), (2, 5), (7, 7)] {
+            let x = ProductState::basis(3, xb);
+            let y = ProductState::basis(3, yb);
+            // Full level = exact.
+            let val = approximate_matrix_element(&noisy, &psi, &x, &y, &opts(3));
+            let expect = rho.matrix_element(&x.to_statevector(), &y.to_statevector());
+            assert!(
+                val.approx_eq(expect, 1e-9),
+                "({xb},{yb}): {val} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_element_diagonal_equals_expectation() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::depolarizing(5e-3),
+            2,
+            59,
+        );
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b111);
+        let elem = approximate_matrix_element(&noisy, &psi, &v, &v, &opts(1));
+        let expect = approximate_expectation(&noisy, &psi, &v, &opts(1)).value;
+        assert!((elem.re - expect).abs() < 1e-12);
+        assert!(elem.im.abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstructed_density_matches_exact() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::thermal_relaxation(30.0, 40.0, 150.0),
+            2,
+            61,
+        );
+        let psi = ProductState::all_zeros(3);
+        let approx_rho = reconstruct_density(&noisy, &psi, &opts(2)); // 2 noises ⇒ exact
+        let exact_rho = density::run(&noisy, &psi.to_statevector()).to_matrix();
+        assert!(
+            approx_rho.approx_eq(&exact_rho, 1e-9),
+            "reconstructed density deviates"
+        );
+        // Physicality of the reconstruction.
+        assert!((approx_rho.trace().re - 1.0).abs() < 1e-9);
+        assert!(approx_rho.is_hermitian(1e-9));
+    }
+
+    #[test]
+    fn auto_simulation_meets_target() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::depolarizing(1e-3),
+            3,
+            41,
+        );
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b111);
+        let target = 1e-6;
+        let report = simulate_auto(&noisy, &psi, &v, target, &ApproxOptions::default())
+            .expect("target is reachable");
+        assert!(report.bound <= target);
+        let mm = exact(&noisy, &psi, &v);
+        assert!(
+            (report.result.value - mm).abs() <= target,
+            "auto run missed target: {}",
+            (report.result.value - mm).abs()
+        );
+        // The planner picks a nontrivial level for this target.
+        assert!(report.level >= 1);
+    }
+
+    #[test]
+    fn auto_simulation_reports_unreachable_targets() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::depolarizing(0.2), // strong noise
+            8,
+            43,
+        );
+        let tight = ApproxOptions {
+            max_terms: 10, // only level 0 fits
+            ..Default::default()
+        };
+        let out = simulate_auto(
+            &noisy,
+            &ProductState::all_zeros(3),
+            &ProductState::basis(3, 0),
+            1e-12,
+            &tight,
+        );
+        assert!(out.is_err());
+        assert!(out.unwrap_err() > 1e-12);
+    }
+
+    #[test]
+    fn coherent_noise_handled_by_approximation() {
+        // Unitary (coherent) noise channels also decompose and
+        // approximate; full level is exact.
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::coherent_overrotation('x', 0.05),
+            2,
+            47,
+        );
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b111);
+        let res = approximate_expectation(&noisy, &psi, &v, &opts(2));
+        let mm = exact(&noisy, &psi, &v);
+        assert!((res.value - mm).abs() < 1e-9, "{} vs {mm}", res.value);
+        // And level-0 is already excellent: a unitary superoperator is
+        // exactly rank-1 under the tensor permutation.
+        let l0 = approximate_expectation(&noisy, &psi, &v, &opts(0));
+        assert!((l0.value - mm).abs() < 1e-9, "level-0 {} vs {mm}", l0.value);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(4),
+            &channels::thermal_relaxation(30.0, 40.0, 100.0),
+            5,
+            29,
+        );
+        let psi = ProductState::all_zeros(4);
+        let v = ProductState::basis(4, 0b1111);
+        for level in 0..=2 {
+            let seq = approximate_expectation(&noisy, &psi, &v, &opts(level));
+            let par = approximate_expectation(
+                &noisy,
+                &psi,
+                &v,
+                &ApproxOptions {
+                    level,
+                    threads: 4,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                (seq.value - par.value).abs() < 1e-12,
+                "level {level}: seq {} vs par {}",
+                seq.value,
+                par.value
+            );
+            assert_eq!(seq.terms_evaluated, par.terms_evaluated);
+        }
+    }
+
+    #[test]
+    fn pattern_enumeration_counts() {
+        assert_eq!(enumerate_patterns(5, 0).len(), 1);
+        assert_eq!(enumerate_patterns(5, 1).len(), 15); // C(5,1)·3
+        assert_eq!(enumerate_patterns(5, 2).len(), 90); // C(5,2)·9
+        // every pattern has exactly u nonzero entries with values 1..=3
+        for pat in enumerate_patterns(4, 2) {
+            assert_eq!(pat.iter().filter(|&&x| x > 0).count(), 2);
+            assert!(pat.iter().all(|&x| x <= 3));
+        }
+    }
+
+    #[test]
+    fn unsplit_matches_split_evaluation() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::thermal_relaxation(30.0, 40.0, 100.0),
+            3,
+            19,
+        );
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b111);
+        for l in 0..=2 {
+            let split = approximate_expectation(&noisy, &psi, &v, &opts(l));
+            let unsplit = approximate_expectation_unsplit(&noisy, &psi, &v, &opts(l));
+            assert!(
+                (split.value - unsplit.value).abs() < 1e-10,
+                "level {l}: split {} vs unsplit {}",
+                split.value,
+                unsplit.value
+            );
+            assert_eq!(split.terms_evaluated, unsplit.terms_evaluated);
+        }
+    }
+
+    #[test]
+    fn unsplit_matches_split_with_initial_noise() {
+        let mut noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::depolarizing(1e-2),
+            2,
+            23,
+        );
+        noisy.push_initial(1, channels::amplitude_damping(0.05));
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0);
+        let split = approximate_expectation(&noisy, &psi, &v, &opts(1));
+        let unsplit = approximate_expectation_unsplit(&noisy, &psi, &v, &opts(1));
+        assert!(
+            (split.value - unsplit.value).abs() < 1e-10,
+            "split {} vs unsplit {}",
+            split.value,
+            unsplit.value
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_terms")]
+    fn guard_trips_on_huge_level() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(3),
+            &channels::depolarizing(1e-3),
+            30,
+            1,
+        );
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0);
+        let tight = ApproxOptions {
+            level: 10,
+            max_terms: 100,
+            ..Default::default()
+        };
+        let _ = approximate_expectation(&noisy, &psi, &v, &tight);
+    }
+}

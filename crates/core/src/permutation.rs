@@ -1,0 +1,157 @@
+//! The tensor permutation operator of the paper's Fig. 3(a).
+//!
+//! Viewing a `4×4` matrix `M` as a rank-4 tensor with row index
+//! `(i1, i2)` and column index `(j1, j2)`, the permutation regroups the
+//! legs so rows become `(i1, j1)` and columns `(i2, j2)`:
+//!
+//! ```text
+//! M̃[(i1,j1), (i2,j2)] = M[(i1,i2), (j1,j2)]
+//! ```
+//!
+//! The operator is an involution and preserves the Frobenius norm —
+//! the two facts behind the paper's Lemma 1.
+
+use qns_linalg::Matrix;
+
+/// Applies the tensor permutation to a `d²×d²` matrix (the
+/// superoperator of a `d`-dimensional channel; `d = 2` in the paper).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square with a perfect-square dimension.
+///
+/// ```
+/// use qns_core::tensor_permute;
+/// use qns_linalg::Matrix;
+///
+/// // The paper's example: Ĩ has ones at the four "corner" positions.
+/// let i4 = Matrix::identity(4);
+/// let t = tensor_permute(&i4);
+/// assert_eq!(t[(0, 0)].re, 1.0);
+/// assert_eq!(t[(0, 3)].re, 1.0);
+/// assert_eq!(t[(3, 0)].re, 1.0);
+/// assert_eq!(t[(3, 3)].re, 1.0);
+/// assert_eq!(t[(1, 1)].re, 0.0);
+/// ```
+pub fn tensor_permute(m: &Matrix) -> Matrix {
+    assert!(m.is_square(), "tensor permutation needs a square matrix");
+    let d2 = m.rows();
+    let d = (d2 as f64).sqrt().round() as usize;
+    assert_eq!(d * d, d2, "dimension must be a perfect square");
+    let mut out = Matrix::zeros(d2, d2);
+    for i1 in 0..d {
+        for i2 in 0..d {
+            for j1 in 0..d {
+                for j2 in 0..d {
+                    out[(i1 * d + j1, i2 * d + j2)] = m[(i1 * d + i2, j1 * d + j2)];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_linalg::{c64, cr};
+    use qns_noise::channels;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random4(rng: &mut StdRng) -> Matrix {
+        let data = (0..16)
+            .map(|_| c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+            .collect();
+        Matrix::from_vec(4, 4, data)
+    }
+
+    #[test]
+    fn paper_identity_example() {
+        // Paper Section IV: Ĩ = [[1,0,0,1],[0,0,0,0],[0,0,0,0],[1,0,0,1]].
+        let t = tensor_permute(&Matrix::identity(4));
+        let expect = Matrix::from_rows(&[
+            vec![cr(1.0), cr(0.0), cr(0.0), cr(1.0)],
+            vec![cr(0.0), cr(0.0), cr(0.0), cr(0.0)],
+            vec![cr(0.0), cr(0.0), cr(0.0), cr(0.0)],
+            vec![cr(1.0), cr(0.0), cr(0.0), cr(1.0)],
+        ]);
+        assert!(t.approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn involution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = random4(&mut rng);
+        assert!(tensor_permute(&tensor_permute(&m)).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn preserves_frobenius_norm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = random4(&mut rng);
+        assert!((tensor_permute(&m).frobenius_norm() - m.frobenius_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_linear() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random4(&mut rng);
+        let b = random4(&mut rng);
+        let lhs = tensor_permute(&(&a + &b));
+        let rhs = &tensor_permute(&a) + &tensor_permute(&b);
+        assert!(lhs.approx_eq(&rhs, 1e-14));
+    }
+
+    #[test]
+    fn kron_becomes_rank_one() {
+        // For A ⊗ B the permuted matrix is vec(A)·vec(B*)† — rank 1.
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = {
+            let data = (0..4)
+                .map(|_| c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+                .collect();
+            Matrix::from_vec(2, 2, data)
+        };
+        let b = {
+            let data = (0..4)
+                .map(|_| c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+                .collect();
+            Matrix::from_vec(2, 2, data)
+        };
+        let t = tensor_permute(&a.kron(&b));
+        let svd = qns_linalg::svd(&t);
+        assert_eq!(svd.rank(1e-10), 1);
+    }
+
+    #[test]
+    fn lemma_1_norm_inflation_bound() {
+        // ‖Ã − B̃‖₂ ≤ ‖A − B‖_F ≤ 2‖A − B‖₂ for 4×4 matrices.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let a = random4(&mut rng);
+            let b = random4(&mut rng);
+            let lhs = (&tensor_permute(&a) - &tensor_permute(&b)).spectral_norm();
+            let rhs = 2.0 * (&a - &b).spectral_norm();
+            assert!(lhs <= rhs + 1e-10, "Lemma 1 violated: {lhs} > {rhs}");
+        }
+    }
+
+    #[test]
+    fn depolarizing_permutation_spectrum() {
+        // M̃ for depolarizing noise stays close to Ĩ (rank-1) when p is
+        // small: second singular value is O(p).
+        let p = 1e-3;
+        let m = channels::depolarizing(p).superoperator();
+        let t = tensor_permute(&m);
+        let svd = qns_linalg::svd(&t);
+        assert!(svd.singular_values[0] > 1.9); // ‖Ĩ‖₂ = 2
+        assert!(svd.singular_values[1] < 5.0 * p);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn non_square_dimension_panics() {
+        let _ = tensor_permute(&Matrix::identity(3));
+    }
+}

@@ -1,0 +1,493 @@
+//! Dense, row-major complex matrices.
+//!
+//! [`Matrix`] is the workhorse representation for gates, Kraus
+//! operators, superoperator matrices and small density matrices. It is
+//! unapologetically dense: all the structure exploitation in this
+//! workspace happens at the tensor-network / decision-diagram level, so
+//! the matrix type stays simple and predictable.
+
+use crate::Complex64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense complex matrix stored in row-major order.
+///
+/// ```
+/// use qns_linalg::{Matrix, cr};
+/// let x = Matrix::from_rows(&[
+///     vec![cr(0.0), cr(1.0)],
+///     vec![cr(1.0), cr(0.0)],
+/// ]);
+/// assert_eq!(&x * &x, Matrix::identity(2));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of equally-long rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<Complex64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a square diagonal matrix from its diagonal entries.
+    pub fn from_diag(diag: &[Complex64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<Complex64> {
+        self.data
+    }
+
+    /// Returns column `j` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn column(&self, j: usize) -> Vec<Complex64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[Complex64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn adjoint(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        t
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: Complex64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * s).collect(),
+        }
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                let lhs_row = i * rhs.cols;
+                let rhs_row = k * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[lhs_row + j] += a * rhs.data[rhs_row + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![Complex64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex64::ZERO;
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (a, x) in row.iter().zip(v) {
+                acc += *a * *x;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `‖A‖_F = sqrt(Σ|a_ij|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry magnitude `max |a_ij|`.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Spectral norm (largest singular value), computed via [`crate::svd`].
+    pub fn spectral_norm(&self) -> f64 {
+        crate::svd(self).singular_values.first().copied().unwrap_or(0.0)
+    }
+
+    /// `true` if `‖A − A†‖_max ≤ tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && (self - &self.adjoint()).max_abs() <= tol
+    }
+
+    /// `true` if `‖A†A − I‖_max ≤ tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.is_square()
+            && (&self.adjoint().matmul(self) - &Matrix::identity(self.rows)).max_abs() <= tol
+    }
+
+    /// Entry-wise approximate equality with absolute tolerance `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Raises a square matrix to a non-negative integer power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn powi(&self, mut n: u32) -> Matrix {
+        assert!(self.is_square(), "powi of non-square matrix");
+        let mut result = Matrix::identity(self.rows);
+        let mut base = self.clone();
+        while n > 0 {
+            if n & 1 == 1 {
+                result = result.matmul(&base);
+            }
+            base = base.matmul(&base);
+            n >>= 1;
+        }
+        result
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{c64, cr};
+
+    fn pauli_x() -> Matrix {
+        Matrix::from_rows(&[vec![cr(0.0), cr(1.0)], vec![cr(1.0), cr(0.0)]])
+    }
+
+    fn pauli_y() -> Matrix {
+        Matrix::from_rows(&[vec![cr(0.0), c64(0.0, -1.0)], vec![c64(0.0, 1.0), cr(0.0)]])
+    }
+
+    fn pauli_z() -> Matrix {
+        Matrix::from_rows(&[vec![cr(1.0), cr(0.0)], vec![cr(0.0), cr(-1.0)]])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let x = pauli_x();
+        assert_eq!(x.matmul(&Matrix::identity(2)), x);
+        assert_eq!(Matrix::identity(2).matmul(&x), x);
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        // XY = iZ
+        let xy = pauli_x().matmul(&pauli_y());
+        let iz = pauli_z().scale(Complex64::I);
+        assert!(xy.approx_eq(&iz, 1e-14));
+    }
+
+    #[test]
+    fn adjoint_reverses_product() {
+        let a = pauli_x().matmul(&pauli_y());
+        let lhs = a.adjoint();
+        let rhs = pauli_y().adjoint().matmul(&pauli_x().adjoint());
+        assert!(lhs.approx_eq(&rhs, 1e-14));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let k = pauli_z().kron(&pauli_x());
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k[(0, 1)], cr(1.0));
+        assert_eq!(k[(2, 3)], cr(-1.0));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = Matrix::identity(2);
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-14));
+    }
+
+    #[test]
+    fn trace_is_linear() {
+        let a = pauli_z();
+        let b = Matrix::identity(2);
+        let t = (&a + &b).trace();
+        assert!(t.approx_eq(a.trace() + b.trace(), 1e-14));
+    }
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.is_unitary(1e-14));
+            assert!(p.is_hermitian(1e-14));
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_of_pauli() {
+        assert!((pauli_x().frobenius_norm() - 2f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = pauli_y();
+        let v = vec![c64(1.0, 1.0), c64(0.5, -0.25)];
+        let mv = a.matvec(&v);
+        let col = Matrix::from_vec(2, 1, v);
+        let mm = a.matmul(&col);
+        assert!(mv[0].approx_eq(mm[(0, 0)], 1e-14));
+        assert!(mv[1].approx_eq(mm[(1, 0)], 1e-14));
+    }
+
+    #[test]
+    fn powi_matches_repeated_product() {
+        let x = pauli_x();
+        assert!(x.powi(0).approx_eq(&Matrix::identity(2), 1e-14));
+        assert!(x.powi(2).approx_eq(&Matrix::identity(2), 1e-14));
+        assert!(x.powi(3).approx_eq(&x, 1e-14));
+    }
+
+    #[test]
+    fn diag_constructor() {
+        let d = Matrix::from_diag(&[cr(1.0), cr(2.0)]);
+        assert_eq!(d[(1, 1)], cr(2.0));
+        assert_eq!(d[(0, 1)], cr(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn row_and_column_access() {
+        let x = pauli_x();
+        assert_eq!(x.row(0), &[cr(0.0), cr(1.0)]);
+        assert_eq!(x.column(0), vec![cr(0.0), cr(1.0)]);
+    }
+}

@@ -1,0 +1,597 @@
+//! The MPO density-matrix state and its update rules.
+
+use qns_circuit::Operation;
+use qns_linalg::{Complex64, Matrix};
+use qns_noise::{Element, Kraus, NoisyCircuit};
+use qns_tensor::Tensor;
+
+/// A density matrix in matrix-product-operator form.
+///
+/// Site tensors have shape `[Dl, 2, 2, Dr]` (left bond, physical row,
+/// physical column, right bond); the first site has `Dl = 1` and the
+/// last `Dr = 1`. Two-qubit operations cap the new bond at
+/// `max_bond` (`χ`), accumulating the discarded singular-value weight
+/// in [`MpoState::truncation_error`].
+#[derive(Clone, Debug)]
+pub struct MpoState {
+    sites: Vec<Tensor>,
+    max_bond: usize,
+    truncation_error: f64,
+}
+
+impl MpoState {
+    /// The pure product density matrix `⊗_q |f_q⟩⟨f_q|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is empty or `max_bond == 0`.
+    pub fn from_product(factors: &[[Complex64; 2]], max_bond: usize) -> Self {
+        assert!(!factors.is_empty(), "need at least one qubit");
+        assert!(max_bond > 0, "bond dimension must be positive");
+        let sites = factors
+            .iter()
+            .map(|f| {
+                let mut data = Vec::with_capacity(4);
+                for i in 0..2 {
+                    for j in 0..2 {
+                        data.push(f[i] * f[j].conj());
+                    }
+                }
+                Tensor::from_vec(data, vec![1, 2, 2, 1])
+            })
+            .collect();
+        MpoState {
+            sites,
+            max_bond,
+            truncation_error: 0.0,
+        }
+    }
+
+    /// `|0…0⟩⟨0…0|` on `n` qubits with bond cap `max_bond`.
+    pub fn all_zeros(n: usize, max_bond: usize) -> Self {
+        Self::from_product(&vec![[Complex64::ONE, Complex64::ZERO]; n], max_bond)
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The configured bond-dimension cap `χ`.
+    pub fn max_bond(&self) -> usize {
+        self.max_bond
+    }
+
+    /// Accumulated discarded singular-value weight (square-summed and
+    /// square-rooted per truncation, summed across truncations).
+    pub fn truncation_error(&self) -> f64 {
+        self.truncation_error
+    }
+
+    /// The largest bond dimension currently in the train.
+    pub fn current_bond(&self) -> usize {
+        self.sites
+            .iter()
+            .map(|s| s.shape()[3])
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Applies a 4×4 superoperator `m` (acting on the vectorized
+    /// physical pair, row-major `(i,j)`) to site `q`.
+    fn apply_superop_single(&mut self, q: usize, m: &Matrix) {
+        let a = &self.sites[q];
+        let (dl, dr) = (a.shape()[0], a.shape()[3]);
+        // out[l,i,j,r] = Σ_{i',j'} m[(i,j),(i',j')]·a[l,i',j',r]
+        let mt = Tensor::from_matrix(m).reshape(vec![2, 2, 2, 2]); // [i,j,i',j']
+        let out = mt.contract(a, &[2, 3], &[1, 2]); // [i,j,l,r]
+        self.sites[q] = out.permute(&[2, 0, 1, 3]).reshape(vec![dl, 2, 2, dr]);
+    }
+
+    /// Applies a unitary `u` (2×2) to site `q`: `ρ ← uρu†` locally.
+    pub fn apply_single_unitary(&mut self, q: usize, u: &Matrix) {
+        let su = u.kron(&u.conj());
+        self.apply_superop_single(q, &su);
+    }
+
+    /// Applies a single-qubit channel at `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is not single-qubit or `q` out of range.
+    pub fn apply_channel(&mut self, q: usize, channel: &Kraus) {
+        assert!(q < self.n_qubits(), "qubit out of range");
+        assert_eq!(channel.dim(), 2, "expected a single-qubit channel");
+        let m = channel.superoperator();
+        self.apply_superop_single(q, &m);
+    }
+
+    /// Applies a 16×16 superoperator to the adjacent pair `(q, q+1)`
+    /// with row index `((i1,j1),(i2,j2))`, then splits with a
+    /// truncated SVD.
+    fn apply_superop_adjacent(&mut self, q: usize, m: &Matrix) {
+        let a = self.sites[q].clone();
+        let b = self.sites[q + 1].clone();
+        let (dl, dr) = (a.shape()[0], b.shape()[3]);
+        // Θ[l, i1, j1, i2, j2, r]
+        let theta = a.contract(&b, &[3], &[0]); // [l,i1,j1,i2,j2,r]
+        // Superop tensor [(i1,j1,i2,j2), (i1',j1',i2',j2')] reshaped to 8 axes.
+        let mt = Tensor::from_matrix(m).reshape(vec![2, 2, 2, 2, 2, 2, 2, 2]);
+        // Contract primed (input) legs with Θ's physical legs.
+        let out = mt.contract(&theta, &[4, 5, 6, 7], &[1, 2, 3, 4]);
+        // out axes: [i1, j1, i2, j2, l, r] → [l, i1, j1, i2, j2, r]
+        let out = out.permute(&[4, 0, 1, 2, 3, 5]);
+        // Split between (l,i1,j1) and (i2,j2,r).
+        let matrix = out.reshape(vec![dl * 4, 4 * dr]).to_matrix();
+        let svd = qns_linalg::svd(&matrix);
+        let full_rank = svd
+            .singular_values
+            .iter()
+            .filter(|&&s| s > 1e-14)
+            .count()
+            .max(1);
+        let keep = full_rank.min(self.max_bond);
+        if keep < full_rank {
+            let discarded: f64 = svd.singular_values[keep..]
+                .iter()
+                .map(|s| s * s)
+                .sum();
+            self.truncation_error += discarded.sqrt();
+        }
+        // A_q = U[:, :keep]; A_{q+1} = Σ V† rows.
+        let mut left = Matrix::zeros(dl * 4, keep);
+        for r in 0..dl * 4 {
+            for c in 0..keep {
+                left[(r, c)] = svd.u[(r, c)];
+            }
+        }
+        let mut right = Matrix::zeros(keep, 4 * dr);
+        for r in 0..keep {
+            let s = svd.singular_values[r];
+            for c in 0..4 * dr {
+                right[(r, c)] = svd.v[(c, r)].conj() * s;
+            }
+        }
+        self.sites[q] = Tensor::from_matrix(&left).reshape(vec![dl, 2, 2, keep]);
+        self.sites[q + 1] = Tensor::from_matrix(&right).reshape(vec![keep, 2, 2, dr]);
+    }
+
+    /// Applies a two-qubit unitary to the adjacent pair `(q, q+1)`
+    /// where the unitary's first index is qubit `q`.
+    pub fn apply_adjacent_unitary(&mut self, q: usize, u: &Matrix) {
+        assert!(q + 1 < self.n_qubits(), "pair out of range");
+        assert_eq!((u.rows(), u.cols()), (4, 4), "expected a 4×4 unitary");
+        // Superoperator U ⊗ U* acts on ((i1,i2),(j1,j2)); we need the
+        // index order ((i1,j1),(i2,j2)) for the site layout: permute.
+        let su = u.kron(&u.conj()); // rows (i1 i2 j1 j2) grouped as ((i1,i2),(j1,j2))
+        let perm = permute_pair_superop(&su);
+        self.apply_superop_adjacent(q, &perm);
+    }
+
+    /// Runs a full noisy circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's qubit count mismatches the state.
+    pub fn run(&mut self, noisy: &NoisyCircuit) {
+        assert_eq!(
+            noisy.n_qubits(),
+            self.n_qubits(),
+            "state/circuit size mismatch"
+        );
+        for el in noisy.elements() {
+            match el {
+                Element::Gate(op) => self.apply_operation(op),
+                Element::Noise(e) => self.apply_channel(e.qubit, &e.kraus),
+            }
+        }
+    }
+
+    /// Applies a circuit operation, routing non-adjacent pairs with
+    /// SWAP chains (`O(distance)` adjacent SWAPs each way).
+    pub fn apply_operation(&mut self, op: &Operation) {
+        if op.qubits.len() == 1 {
+            self.apply_single_unitary(op.qubits[0], &op.gate.matrix());
+            return;
+        }
+        let (a, b) = (op.qubits[0], op.qubits[1]);
+        let u = op.gate.matrix();
+        if a + 1 == b {
+            self.apply_adjacent_unitary(a, &u);
+            return;
+        }
+        if b + 1 == a {
+            let sw = swap_matrix();
+            let flipped = sw.matmul(&u).matmul(&sw);
+            self.apply_adjacent_unitary(b, &flipped);
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        // Bubble `hi` down to lo+1.
+        for k in ((lo + 1)..hi).rev() {
+            self.apply_adjacent_unitary(k, &swap_matrix());
+        }
+        // Apply on (lo, lo+1) with correct orientation.
+        if a < b {
+            self.apply_adjacent_unitary(lo, &u);
+        } else {
+            let sw = swap_matrix();
+            self.apply_adjacent_unitary(lo, &sw.matmul(&u).matmul(&sw));
+        }
+        // Bubble back up.
+        for k in (lo + 1)..hi {
+            self.apply_adjacent_unitary(k, &swap_matrix());
+        }
+    }
+
+    /// The trace `tr(ρ)` (1 up to truncation error).
+    pub fn trace(&self) -> Complex64 {
+        // Carry over bonds: carry[r] = Σ_l carry[l] Σ_i A[l,i,i,r].
+        let mut carry = vec![Complex64::ONE];
+        for site in &self.sites {
+            let (dl, dr) = (site.shape()[0], site.shape()[3]);
+            let mut next = vec![Complex64::ZERO; dr];
+            for l in 0..dl {
+                if carry[l] == Complex64::ZERO {
+                    continue;
+                }
+                for i in 0..2 {
+                    for (r, slot) in next.iter_mut().enumerate() {
+                        *slot += carry[l] * site.get(&[l, i, i, r]);
+                    }
+                }
+            }
+            carry = next;
+        }
+        carry[0]
+    }
+
+    /// The expectation `⟨v|ρ|v⟩` for a product state `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` mismatches the qubit count.
+    pub fn expectation_product(&self, v: &[[Complex64; 2]]) -> f64 {
+        assert_eq!(v.len(), self.n_qubits(), "one factor per qubit");
+        let mut carry = vec![Complex64::ONE];
+        for (site, f) in self.sites.iter().zip(v) {
+            let (dl, dr) = (site.shape()[0], site.shape()[3]);
+            let mut next = vec![Complex64::ZERO; dr];
+            for l in 0..dl {
+                if carry[l] == Complex64::ZERO {
+                    continue;
+                }
+                for i in 0..2 {
+                    for j in 0..2 {
+                        let w = f[i].conj() * f[j];
+                        if w == Complex64::ZERO {
+                            continue;
+                        }
+                        for (r, slot) in next.iter_mut().enumerate() {
+                            *slot += carry[l] * w * site.get(&[l, i, j, r]);
+                        }
+                    }
+                }
+            }
+            carry = next;
+        }
+        carry[0].re
+    }
+
+    /// Probability of the computational basis outcome `bits` (qubit 0
+    /// is the most significant bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits ≥ 2^n`.
+    pub fn probability_of_basis(&self, bits: usize) -> f64 {
+        let n = self.n_qubits();
+        assert!(bits < (1usize << n), "bit pattern out of range");
+        let v: Vec<[Complex64; 2]> = (0..n)
+            .map(|q| {
+                if (bits >> (n - 1 - q)) & 1 == 1 {
+                    [Complex64::ZERO, Complex64::ONE]
+                } else {
+                    [Complex64::ONE, Complex64::ZERO]
+                }
+            })
+            .collect();
+        self.expectation_product(&v)
+    }
+
+    /// Dense expansion (testing; `O(4^n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10`.
+    pub fn to_matrix(&self) -> Matrix {
+        let n = self.n_qubits();
+        assert!(n <= 10, "dense expansion too large");
+        let dim = 1usize << n;
+        let mut out = Matrix::zeros(dim, dim);
+        // Recursive contraction over bit strings.
+        let mut stack: Vec<(usize, usize, usize, Vec<Complex64>)> =
+            vec![(0, 0, 0, vec![Complex64::ONE])];
+        while let Some((q, row, col, carry)) = stack.pop() {
+            if q == n {
+                out[(row, col)] += carry[0];
+                continue;
+            }
+            let site = &self.sites[q];
+            let (dl, dr) = (site.shape()[0], site.shape()[3]);
+            for i in 0..2 {
+                for j in 0..2 {
+                    let mut next = vec![Complex64::ZERO; dr];
+                    let mut nonzero = false;
+                    for l in 0..dl {
+                        if carry[l] == Complex64::ZERO {
+                            continue;
+                        }
+                        for (r, slot) in next.iter_mut().enumerate() {
+                            let val = carry[l] * site.get(&[l, i, j, r]);
+                            if val != Complex64::ZERO {
+                                nonzero = true;
+                            }
+                            *slot += val;
+                        }
+                    }
+                    if nonzero {
+                        stack.push((
+                            q + 1,
+                            row | (i << (n - 1 - q)),
+                            col | (j << (n - 1 - q)),
+                            next,
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The SWAP matrix.
+fn swap_matrix() -> Matrix {
+    use qns_linalg::cr;
+    Matrix::from_rows(&[
+        vec![cr(1.0), cr(0.0), cr(0.0), cr(0.0)],
+        vec![cr(0.0), cr(0.0), cr(1.0), cr(0.0)],
+        vec![cr(0.0), cr(1.0), cr(0.0), cr(0.0)],
+        vec![cr(0.0), cr(0.0), cr(0.0), cr(1.0)],
+    ])
+}
+
+/// Reindexes a pair superoperator from `((i1,i2),(j1,j2))` (the
+/// `U ⊗ U*` layout) to `((i1,j1),(i2,j2))` (the site layout).
+fn permute_pair_superop(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(16, 16);
+    for i1 in 0..2 {
+        for i2 in 0..2 {
+            for j1 in 0..2 {
+                for j2 in 0..2 {
+                    for k1 in 0..2 {
+                        for k2 in 0..2 {
+                            for l1 in 0..2 {
+                                for l2 in 0..2 {
+                                    let src_r = ((i1 * 2 + i2) * 2 + j1) * 2 + j2;
+                                    let src_c = ((k1 * 2 + k2) * 2 + l1) * 2 + l2;
+                                    let dst_r = ((i1 * 2 + j1) * 2 + i2) * 2 + j2;
+                                    let dst_c = ((k1 * 2 + l1) * 2 + k2) * 2 + l2;
+                                    out[(dst_r, dst_c)] = m[(src_r, src_c)];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs a noisy circuit and returns `⟨v|ρ|v⟩` for computational basis
+/// `v = |bits⟩` — the MPO analogue of the other engines' entry point.
+pub fn expectation(noisy: &NoisyCircuit, bits: usize, max_bond: usize) -> f64 {
+    let mut rho = MpoState::all_zeros(noisy.n_qubits(), max_bond);
+    rho.run(noisy);
+    rho.probability_of_basis(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_circuit::generators::{ghz, qaoa_ring, QaoaRound};
+    use qns_circuit::{Circuit, Gate};
+    use qns_noise::channels;
+
+    fn dense_expect(noisy: &NoisyCircuit, bits: usize) -> f64 {
+        let n = noisy.n_qubits();
+        qns_sim::density::expectation(
+            noisy,
+            &qns_sim::statevector::zero_state(n),
+            &qns_sim::statevector::basis_state(n, bits),
+        )
+    }
+
+    #[test]
+    fn product_state_construction() {
+        let rho = MpoState::all_zeros(3, 8);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.probability_of_basis(0) - 1.0).abs() < 1e-12);
+        assert!(rho.probability_of_basis(5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_qubit_gates_match_dense() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(1).ry(2, 0.7).x(0);
+        let noisy = NoisyCircuit::noiseless(c);
+        for bits in 0..8 {
+            let mpo = expectation(&noisy, bits, 8);
+            let dense = dense_expect(&noisy, bits);
+            assert!((mpo - dense).abs() < 1e-10, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn adjacent_two_qubit_gates_match_dense() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cz(1, 2).cx(1, 2);
+        let noisy = NoisyCircuit::noiseless(c);
+        for bits in 0..8 {
+            let mpo = expectation(&noisy, bits, 16);
+            let dense = dense_expect(&noisy, bits);
+            assert!((mpo - dense).abs() < 1e-10, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn reversed_orientation_gate_matches_dense() {
+        let mut c = Circuit::new(2);
+        c.h(1).cx(1, 0); // control below target
+        let noisy = NoisyCircuit::noiseless(c);
+        for bits in 0..4 {
+            let mpo = expectation(&noisy, bits, 8);
+            let dense = dense_expect(&noisy, bits);
+            assert!((mpo - dense).abs() < 1e-10, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn distant_pair_routing_matches_dense() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3).cz(3, 1);
+        let noisy = NoisyCircuit::noiseless(c);
+        for bits in 0..16 {
+            let mpo = expectation(&noisy, bits, 32);
+            let dense = dense_expect(&noisy, bits);
+            assert!((mpo - dense).abs() < 1e-9, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn ghz_with_noise_matches_dense() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(4),
+            &channels::thermal_relaxation(30.0, 40.0, 100.0),
+            3,
+            7,
+        );
+        for bits in [0usize, 0b1111, 0b1010] {
+            let mpo = expectation(&noisy, bits, 32);
+            let dense = dense_expect(&noisy, bits);
+            assert!((mpo - dense).abs() < 1e-9, "bits={bits}: {mpo} vs {dense}");
+        }
+    }
+
+    #[test]
+    fn qaoa_with_noise_matches_dense_at_full_bond() {
+        let rounds = [QaoaRound {
+            gamma: 0.4,
+            beta: 0.3,
+        }];
+        let c = qaoa_ring(4, &rounds);
+        let noisy = NoisyCircuit::inject_random(c, &channels::depolarizing(0.01), 3, 3);
+        let mpo = expectation(&noisy, 0, 64);
+        let dense = dense_expect(&noisy, 0);
+        assert!((mpo - dense).abs() < 1e-9, "{mpo} vs {dense}");
+    }
+
+    #[test]
+    fn trace_preserved_through_noisy_run() {
+        let noisy = NoisyCircuit::inject_random(
+            ghz(5),
+            &channels::amplitude_damping(0.1),
+            4,
+            11,
+        );
+        let mut rho = MpoState::all_zeros(5, 32);
+        rho.run(&noisy);
+        assert!((rho.trace().re - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncation_error_appears_with_tight_bond() {
+        // A GHZ ladder then an entangling round at χ = 1 must truncate.
+        let mut c = Circuit::new(5);
+        c.h(0);
+        for q in 1..5 {
+            c.cx(q - 1, q);
+        }
+        for q in 0..4 {
+            c.zz(q, q + 1, 0.7);
+        }
+        let noisy = NoisyCircuit::noiseless(c.clone());
+
+        let mut tight = MpoState::all_zeros(5, 1);
+        tight.run(&noisy);
+        assert!(tight.truncation_error() > 1e-6, "χ=1 must truncate");
+
+        let mut loose = MpoState::all_zeros(5, 64);
+        loose.run(&noisy);
+        assert!(loose.truncation_error() < 1e-12, "χ=64 must be exact here");
+    }
+
+    #[test]
+    fn larger_bond_is_more_accurate() {
+        let rounds = [QaoaRound {
+            gamma: 0.5,
+            beta: 0.4,
+        }];
+        let c = qaoa_ring(5, &rounds);
+        let noisy = NoisyCircuit::inject_random(c, &channels::depolarizing(0.02), 3, 9);
+        let dense = dense_expect(&noisy, 0);
+        let err2 = (expectation(&noisy, 0, 2) - dense).abs();
+        let err16 = (expectation(&noisy, 0, 16) - dense).abs();
+        assert!(
+            err16 <= err2 + 1e-12,
+            "χ=16 error {err16} should not exceed χ=2 error {err2}"
+        );
+        assert!(err16 < 1e-6, "χ=16 should be near-exact on 5 qubits");
+    }
+
+    #[test]
+    fn bond_dimension_respects_cap() {
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        for _ in 0..3 {
+            for q in 0..5 {
+                c.zz(q, q + 1, 0.9);
+            }
+            for q in 0..6 {
+                c.rx(q, 0.5);
+            }
+        }
+        let mut rho = MpoState::all_zeros(6, 4);
+        rho.run(&NoisyCircuit::noiseless(c));
+        assert!(rho.current_bond() <= 4);
+    }
+
+    #[test]
+    fn dense_expansion_matches_expectations() {
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::phase_flip(0.1), 2, 5);
+        let mut rho = MpoState::all_zeros(3, 16);
+        rho.run(&noisy);
+        let m = rho.to_matrix();
+        assert!((m.trace().re - 1.0).abs() < 1e-10);
+        for bits in 0..8usize {
+            let p = rho.probability_of_basis(bits);
+            assert!((m[(bits, bits)].re - p).abs() < 1e-10, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn gate_enum_coverage_via_fsim() {
+        // A non-trivial 4×4 with phases exercises the superop permute.
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).apply(Gate::FSim(0.4, 0.9), &[0, 1]);
+        let noisy = NoisyCircuit::noiseless(c);
+        for bits in 0..4 {
+            let mpo = expectation(&noisy, bits, 8);
+            let dense = dense_expect(&noisy, bits);
+            assert!((mpo - dense).abs() < 1e-10, "bits={bits}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: the MPO simulator with a generous bond cap must
+//! agree with dense density-matrix evolution on random circuits.
+
+use proptest::prelude::*;
+use qns_circuit::Circuit;
+use qns_mpo::state::expectation;
+use qns_noise::{channels, NoisyCircuit};
+
+#[derive(Clone, Debug)]
+enum Op {
+    H(usize),
+    T(usize),
+    Ry(usize, f64),
+    Cx(usize, usize),
+    Zz(usize, usize, f64),
+}
+
+fn circuit_strategy(n: usize, gates: usize) -> impl Strategy<Value = Circuit> {
+    let op = prop_oneof![
+        (0..n).prop_map(Op::H),
+        (0..n).prop_map(Op::T),
+        (0..n, -3.0f64..3.0).prop_map(|(q, a)| Op::Ry(q, a)),
+        (0..n, 1..n).prop_map(move |(a, d)| Op::Cx(a, (a + d) % n)),
+        (0..n, 1..n, -2.0f64..2.0).prop_map(move |(a, d, t)| Op::Zz(a, (a + d) % n, t)),
+    ];
+    proptest::collection::vec(op, gates).prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for op in ops {
+            match op {
+                Op::H(q) => c.h(q),
+                Op::T(q) => c.t(q),
+                Op::Ry(q, a) => c.ry(q, a),
+                Op::Cx(a, b) => c.cx(a, b),
+                Op::Zz(a, b, t) => c.zz(a, b, t),
+            };
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn full_bond_mpo_matches_dense(
+        c in circuit_strategy(4, 10),
+        p in 0.0f64..0.2,
+        seed in 0u64..500,
+        v_bits in 0usize..16,
+    ) {
+        let noisy = NoisyCircuit::inject_random(c, &channels::depolarizing(p), 2, seed);
+        let mpo = expectation(&noisy, v_bits, 64);
+        let dense = qns_sim::density::expectation(
+            &noisy,
+            &qns_sim::statevector::zero_state(4),
+            &qns_sim::statevector::basis_state(4, v_bits),
+        );
+        prop_assert!((mpo - dense).abs() < 1e-8, "mpo {} vs dense {}", mpo, dense);
+    }
+
+    #[test]
+    fn mpo_trace_always_one(
+        c in circuit_strategy(4, 8),
+        seed in 0u64..500,
+    ) {
+        let noisy = NoisyCircuit::inject_random(
+            c,
+            &channels::amplitude_damping(0.1),
+            2,
+            seed,
+        );
+        let mut rho = qns_mpo::MpoState::all_zeros(4, 64);
+        rho.run(&noisy);
+        prop_assert!((rho.trace().re - 1.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,163 @@
+//! Bit-twiddled gate kernels on flat complex buffers.
+//!
+//! A state over `n_bits` qubits is a buffer of length `2^n_bits`; bit
+//! position 0 is the **most significant** bit of the index, matching
+//! [`qns_circuit::Circuit::unitary`]. The density-matrix simulator
+//! reuses these kernels on `2n`-bit buffers (row bits then column
+//! bits).
+
+use qns_linalg::{Complex64, Matrix};
+
+/// Applies a 2×2 matrix to bit `bit` of an `n_bits`-qubit buffer,
+/// in place.
+///
+/// # Panics
+///
+/// Panics if `m` is not 2×2, `bit ≥ n_bits`, or the buffer length is
+/// not `2^n_bits`.
+pub fn apply_single(state: &mut [Complex64], n_bits: usize, bit: usize, m: &Matrix) {
+    assert_eq!((m.rows(), m.cols()), (2, 2), "kernel expects a 2×2 matrix");
+    assert!(bit < n_bits, "bit out of range");
+    assert_eq!(state.len(), 1usize << n_bits, "buffer length mismatch");
+    let shift = n_bits - 1 - bit;
+    let mask = 1usize << shift;
+    let m00 = m[(0, 0)];
+    let m01 = m[(0, 1)];
+    let m10 = m[(1, 0)];
+    let m11 = m[(1, 1)];
+    for base in 0..state.len() {
+        if base & mask != 0 {
+            continue;
+        }
+        let i0 = base;
+        let i1 = base | mask;
+        let a0 = state[i0];
+        let a1 = state[i1];
+        state[i0] = m00 * a0 + m01 * a1;
+        state[i1] = m10 * a0 + m11 * a1;
+    }
+}
+
+/// Applies a 4×4 matrix to bits `(bit0, bit1)` of an `n_bits`-qubit
+/// buffer, in place. `bit0` indexes the more significant bit of the
+/// 4×4 matrix's basis, matching [`qns_circuit::Gate::matrix`].
+///
+/// # Panics
+///
+/// Panics if `m` is not 4×4, the bits coincide or exceed `n_bits`, or
+/// the buffer length is not `2^n_bits`.
+pub fn apply_double(
+    state: &mut [Complex64],
+    n_bits: usize,
+    bit0: usize,
+    bit1: usize,
+    m: &Matrix,
+) {
+    assert_eq!((m.rows(), m.cols()), (4, 4), "kernel expects a 4×4 matrix");
+    assert!(bit0 < n_bits && bit1 < n_bits, "bit out of range");
+    assert_ne!(bit0, bit1, "bits must differ");
+    assert_eq!(state.len(), 1usize << n_bits, "buffer length mismatch");
+    let s0 = n_bits - 1 - bit0;
+    let s1 = n_bits - 1 - bit1;
+    let m0 = 1usize << s0;
+    let m1 = 1usize << s1;
+    for base in 0..state.len() {
+        if base & m0 != 0 || base & m1 != 0 {
+            continue;
+        }
+        let idx = [base, base | m1, base | m0, base | m0 | m1];
+        let amps = [state[idx[0]], state[idx[1]], state[idx[2]], state[idx[3]]];
+        for (r, &out_i) in idx.iter().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (c, &a) in amps.iter().enumerate() {
+                acc += m[(r, c)] * a;
+            }
+            state[out_i] = acc;
+        }
+    }
+}
+
+/// Squared norm of a buffer.
+pub fn norm_sqr(state: &[Complex64]) -> f64 {
+    state.iter().map(|z| z.norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_circuit::{Circuit, Gate};
+    use qns_linalg::cr;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_state(rng: &mut StdRng, n: usize) -> Vec<Complex64> {
+        let v: Vec<Complex64> = (0..1usize << n)
+            .map(|_| {
+                qns_linalg::c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0))
+            })
+            .collect();
+        qns_linalg::normalize(&v)
+    }
+
+    #[test]
+    fn single_kernel_matches_full_matrix() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bit in 0..3 {
+            let state = random_state(&mut rng, 3);
+            let mut fast = state.clone();
+            apply_single(&mut fast, 3, bit, &Gate::H.matrix());
+            let mut c = Circuit::new(3);
+            c.h(bit);
+            let slow = c.unitary().matvec(&state);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!(a.approx_eq(*b, 1e-12), "bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_kernel_matches_full_matrix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (b0, b1) in [(0, 1), (1, 0), (0, 2), (2, 1)] {
+            let state = random_state(&mut rng, 3);
+            let mut fast = state.clone();
+            apply_double(&mut fast, 3, b0, b1, &Gate::CX.matrix());
+            let mut c = Circuit::new(3);
+            c.cx(b0, b1);
+            let slow = c.unitary().matvec(&state);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!(a.approx_eq(*b, 1e-12), "bits ({b0},{b1})");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_preserve_norm_for_unitaries() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut state = random_state(&mut rng, 4);
+        apply_single(&mut state, 4, 2, &Gate::SqrtW.matrix());
+        apply_double(&mut state, 4, 1, 3, &Gate::FSim(0.3, 0.2).matrix());
+        assert!((norm_sqr(&state) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_unitary_kernel_shrinks_norm() {
+        // Amplitude-damping Kraus E1 has operator norm < 1.
+        let e1 = Matrix::from_rows(&[
+            vec![cr(0.0), cr(0.5)],
+            vec![cr(0.0), cr(0.0)],
+        ]);
+        let mut state = vec![cr(0.0), cr(1.0)]; // |1⟩
+        apply_single(&mut state, 1, 0, &e1);
+        assert!((norm_sqr(&state) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_kernel_flips_expected_bit() {
+        let mut state = vec![Complex64::ZERO; 8];
+        state[0] = cr(1.0); // |000⟩
+        apply_single(&mut state, 3, 1, &Gate::X.matrix());
+        // bit 1 is the middle bit → index 0b010 = 2
+        assert!(state[2].approx_eq(cr(1.0), 1e-14));
+    }
+}

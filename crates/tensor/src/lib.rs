@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Dense complex tensors for the `qns` tensor-network machinery.
+//!
+//! A [`Tensor`] is a multi-dimensional array of [`qns_linalg::Complex64`]
+//! stored in row-major order (last axis fastest). The API is
+//! intentionally small: permutation, reshape, conjugation, outer
+//! products and pairwise contraction — exactly the operations a
+//! tensor-network contraction engine composes.
+//!
+//! # Example
+//!
+//! ```
+//! use qns_tensor::Tensor;
+//! use qns_linalg::{Matrix, cr};
+//!
+//! let x = Matrix::from_rows(&[vec![cr(0.0), cr(1.0)], vec![cr(1.0), cr(0.0)]]);
+//! let t = Tensor::from_matrix(&x); // rank-2: [out, in]
+//! let v = Tensor::from_vec(vec![cr(1.0), cr(0.0)], vec![2]); // |0⟩
+//! let out = t.contract(&v, &[1], &[0]); // X|0⟩ = |1⟩
+//! assert_eq!(out.as_slice()[1], cr(1.0));
+//! ```
+
+pub mod tensor;
+
+pub use tensor::Tensor;

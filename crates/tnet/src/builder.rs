@@ -1,0 +1,563 @@
+//! Circuit-to-network translation.
+//!
+//! Two builders:
+//!
+//! * [`amplitude_network`] — the single-size network for the noiseless
+//!   amplitude `⟨v|C|ψ⟩` (optionally with arbitrary single-qubit
+//!   matrix insertions, which is how the approximation algorithm's
+//!   split networks are formed).
+//! * [`double_network`] — the paper's Fig. 2 diagram: a `2n`-rail
+//!   network carrying the circuit on the upper half, its conjugate on
+//!   the lower half, and each noise channel as the rank-4 tensor of its
+//!   superoperator `M_E = Σ E_k ⊗ E_k*` bridging the halves. Noise
+//!   tensors can be selectively replaced by Kronecker factors `A ⊗ B`
+//!   for the ablation that contracts the double network at a given
+//!   approximation level without splitting.
+
+use crate::network::{LegId, TensorNetwork};
+use qns_circuit::Circuit;
+use qns_linalg::{Complex64, Matrix};
+use qns_noise::NoisyCircuit;
+use qns_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A product state `⊗_q (a_q|0⟩ + b_q|1⟩)` — the input/test states of
+/// the paper's experiments (computational basis states and local
+/// rotations thereof).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProductState {
+    factors: Vec<[Complex64; 2]>,
+}
+
+impl ProductState {
+    /// `|0…0⟩` on `n` qubits.
+    pub fn all_zeros(n: usize) -> Self {
+        ProductState {
+            factors: vec![[Complex64::ONE, Complex64::ZERO]; n],
+        }
+    }
+
+    /// The computational basis state with bit pattern `bits` (qubit 0
+    /// is the most significant bit, matching the rest of the
+    /// workspace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits ≥ 2^n`.
+    pub fn basis(n: usize, bits: usize) -> Self {
+        assert!(bits < (1usize << n), "bit pattern out of range");
+        let factors = (0..n)
+            .map(|q| {
+                if (bits >> (n - 1 - q)) & 1 == 1 {
+                    [Complex64::ZERO, Complex64::ONE]
+                } else {
+                    [Complex64::ONE, Complex64::ZERO]
+                }
+            })
+            .collect();
+        ProductState { factors }
+    }
+
+    /// Builds from explicit per-qubit factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is empty.
+    pub fn from_factors(factors: Vec<[Complex64; 2]>) -> Self {
+        assert!(!factors.is_empty(), "product state needs at least one qubit");
+        ProductState { factors }
+    }
+
+    /// The uniform superposition `|+⟩^{⊗n}`.
+    pub fn all_plus(n: usize) -> Self {
+        let inv = qns_linalg::cr(std::f64::consts::FRAC_1_SQRT_2);
+        ProductState {
+            factors: vec![[inv, inv]; n],
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The factor of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn factor(&self, q: usize) -> [Complex64; 2] {
+        self.factors[q]
+    }
+
+    /// Expands to a full statevector of length `2^n`.
+    pub fn to_statevector(&self) -> Vec<Complex64> {
+        let mut v = vec![Complex64::ONE];
+        for f in &self.factors {
+            v = qns_linalg::kron_vec(&v, f);
+        }
+        v
+    }
+}
+
+/// A single-qubit matrix insertion after a gate (used for Kraus
+/// sampling and for the approximation algorithm's noise substitutions).
+#[derive(Clone, Debug)]
+pub struct Insertion {
+    /// Insert after the gate with this index (`usize::MAX` ⇒ before
+    /// the first gate).
+    pub after_gate: usize,
+    /// The qubit the matrix acts on.
+    pub qubit: usize,
+    /// The (not necessarily unitary) 2×2 matrix.
+    pub matrix: Matrix,
+}
+
+/// Builds the single-size amplitude network for `⟨v|C|ψ⟩` with
+/// arbitrary single-qubit `insertions` spliced in after the given
+/// gates. If `conjugate` is set, every gate/insertion matrix and state
+/// factor is entry-wise conjugated — producing the lower half of the
+/// paper's split networks, `⟨v*|C*|ψ*⟩`.
+///
+/// # Panics
+///
+/// Panics if state sizes disagree with the circuit or insertions are
+/// out of range.
+pub fn amplitude_network_with(
+    circuit: &Circuit,
+    psi: &ProductState,
+    v: &ProductState,
+    insertions: &[Insertion],
+    conjugate: bool,
+) -> TensorNetwork {
+    let n = circuit.n_qubits();
+    assert_eq!(psi.n_qubits(), n, "input state size mismatch");
+    assert_eq!(v.n_qubits(), n, "test state size mismatch");
+    for ins in insertions {
+        assert!(
+            ins.after_gate == usize::MAX || ins.after_gate < circuit.gate_count(),
+            "insertion after_gate out of range"
+        );
+        assert!(ins.qubit < n, "insertion qubit out of range");
+    }
+    let mut net = TensorNetwork::new();
+    let mut cur: Vec<LegId> = (0..n).map(|_| net.fresh_leg()).collect();
+
+    let maybe_conj_t = |t: Tensor| if conjugate { t.conj() } else { t };
+    let maybe_conj_m = |m: Matrix| if conjugate { m.conj() } else { m };
+
+    // Input caps |ψ⟩.
+    for q in 0..n {
+        let f = psi.factor(q);
+        let t = maybe_conj_t(Tensor::from_vec(vec![f[0], f[1]], vec![2]));
+        net.add(t, vec![cur[q]]);
+    }
+
+    let splice = |net: &mut TensorNetwork, cur: &mut Vec<LegId>, ins: &Insertion| {
+        let new = net.fresh_leg();
+        let t = Tensor::from_matrix(&maybe_conj_m(ins.matrix.clone()));
+        net.add(t, vec![new, cur[ins.qubit]]);
+        cur[ins.qubit] = new;
+    };
+
+    // Pre-circuit insertions.
+    for ins in insertions.iter().filter(|i| i.after_gate == usize::MAX) {
+        splice(&mut net, &mut cur, ins);
+    }
+
+    for (g, op) in circuit.operations().iter().enumerate() {
+        let m = maybe_conj_m(op.gate.matrix());
+        match op.qubits.len() {
+            1 => {
+                let q = op.qubits[0];
+                let new = net.fresh_leg();
+                net.add(Tensor::from_matrix(&m), vec![new, cur[q]]);
+                cur[q] = new;
+            }
+            2 => {
+                let (q0, q1) = (op.qubits[0], op.qubits[1]);
+                let n0 = net.fresh_leg();
+                let n1 = net.fresh_leg();
+                // 4×4 matrix [r, c] with r = o0·2+o1, c = i0·2+i1
+                // reshapes to axes [o0, o1, i0, i1].
+                let t = Tensor::from_matrix(&m).reshape(vec![2, 2, 2, 2]);
+                net.add(t, vec![n0, n1, cur[q0], cur[q1]]);
+                cur[q0] = n0;
+                cur[q1] = n1;
+            }
+            _ => unreachable!("gates are 1- or 2-qubit"),
+        }
+        for ins in insertions.iter().filter(|i| i.after_gate == g) {
+            splice(&mut net, &mut cur, ins);
+        }
+    }
+
+    // Output caps ⟨v| = conj(v) per qubit (conjugated again when the
+    // whole network is the conjugate half).
+    for q in 0..n {
+        let f = v.factor(q);
+        let t = maybe_conj_t(Tensor::from_vec(vec![f[0].conj(), f[1].conj()], vec![2]));
+        net.add(t, vec![cur[q]]);
+    }
+    net
+}
+
+/// The noiseless amplitude network `⟨v|C|ψ⟩`.
+pub fn amplitude_network(circuit: &Circuit, psi: &ProductState, v: &ProductState) -> TensorNetwork {
+    amplitude_network_with(circuit, psi, v, &[], false)
+}
+
+/// Builds the paper's double-size noisy network (Fig. 2) for
+/// `⟨v|E_N(|ψ⟩⟨ψ|)|v⟩ = (⟨v|⊗⟨v*|)·M_{E_d}···M_{E_1}·(|ψ⟩⊗|ψ*⟩)`.
+///
+/// `replacements` maps a noise-event index (into
+/// `noisy.events()`) to a Kronecker substitute `(A, B)`: the event's
+/// `M_E` tensor is replaced by `A` on the upper rail and `B` on the
+/// lower rail. With an empty map this is the exact diagram contracted
+/// by the TN-based accurate method.
+///
+/// # Panics
+///
+/// Panics on state-size mismatches or replacement matrices that are
+/// not 2×2.
+pub fn double_network(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    v: &ProductState,
+    replacements: &HashMap<usize, (Matrix, Matrix)>,
+) -> TensorNetwork {
+    let circuit = noisy.circuit();
+    let n = circuit.n_qubits();
+    assert_eq!(psi.n_qubits(), n, "input state size mismatch");
+    assert_eq!(v.n_qubits(), n, "test state size mismatch");
+    for (a, b) in replacements.values() {
+        assert_eq!((a.rows(), a.cols()), (2, 2), "replacement A must be 2×2");
+        assert_eq!((b.rows(), b.cols()), (2, 2), "replacement B must be 2×2");
+    }
+
+    let mut net = TensorNetwork::new();
+    let mut upper: Vec<LegId> = (0..n).map(|_| net.fresh_leg()).collect();
+    let mut lower: Vec<LegId> = (0..n).map(|_| net.fresh_leg()).collect();
+
+    // Input caps: |ψ⟩ on the upper half, |ψ*⟩ on the lower half.
+    for q in 0..n {
+        let f = psi.factor(q);
+        net.add(Tensor::from_vec(vec![f[0], f[1]], vec![2]), vec![upper[q]]);
+        net.add(
+            Tensor::from_vec(vec![f[0].conj(), f[1].conj()], vec![2]),
+            vec![lower[q]],
+        );
+    }
+
+    // Initial noise events (before any gate).
+    for (idx_off, e) in noisy.initial_events().iter().enumerate() {
+        // Initial events are keyed after regular events in `replacements`
+        // by convention: index = noisy.events().len() + offset.
+        let key = noisy.events().len() + idx_off;
+        add_noise_tensor(
+            &mut net,
+            &mut upper,
+            &mut lower,
+            e.qubit,
+            &e.kraus,
+            replacements.get(&key),
+        );
+    }
+
+    let events = noisy.events();
+    let mut ev_iter = events.iter().enumerate().peekable();
+    for (g, op) in circuit.operations().iter().enumerate() {
+        let m = op.gate.matrix();
+        match op.qubits.len() {
+            1 => {
+                let q = op.qubits[0];
+                let nu = net.fresh_leg();
+                net.add(Tensor::from_matrix(&m), vec![nu, upper[q]]);
+                upper[q] = nu;
+                let nl = net.fresh_leg();
+                net.add(Tensor::from_matrix(&m.conj()), vec![nl, lower[q]]);
+                lower[q] = nl;
+            }
+            2 => {
+                let (q0, q1) = (op.qubits[0], op.qubits[1]);
+                let (u0, u1) = (net.fresh_leg(), net.fresh_leg());
+                net.add(
+                    Tensor::from_matrix(&m).reshape(vec![2, 2, 2, 2]),
+                    vec![u0, u1, upper[q0], upper[q1]],
+                );
+                upper[q0] = u0;
+                upper[q1] = u1;
+                let (l0, l1) = (net.fresh_leg(), net.fresh_leg());
+                net.add(
+                    Tensor::from_matrix(&m.conj()).reshape(vec![2, 2, 2, 2]),
+                    vec![l0, l1, lower[q0], lower[q1]],
+                );
+                lower[q0] = l0;
+                lower[q1] = l1;
+            }
+            _ => unreachable!("gates are 1- or 2-qubit"),
+        }
+        while let Some((idx, e)) = ev_iter.peek() {
+            if e.after_gate != g {
+                break;
+            }
+            add_noise_tensor(
+                &mut net,
+                &mut upper,
+                &mut lower,
+                e.qubit,
+                &e.kraus,
+                replacements.get(idx),
+            );
+            ev_iter.next();
+        }
+    }
+
+    // Output caps: ⟨v| upper, ⟨v*| lower.
+    for q in 0..n {
+        let f = v.factor(q);
+        net.add(
+            Tensor::from_vec(vec![f[0].conj(), f[1].conj()], vec![2]),
+            vec![upper[q]],
+        );
+        net.add(Tensor::from_vec(vec![f[0], f[1]], vec![2]), vec![lower[q]]);
+    }
+    net
+}
+
+/// Adds a noise superoperator tensor (or its Kronecker replacement)
+/// bridging the upper and lower rails of qubit `q`.
+fn add_noise_tensor(
+    net: &mut TensorNetwork,
+    upper: &mut [LegId],
+    lower: &mut [LegId],
+    q: usize,
+    kraus: &qns_noise::Kraus,
+    replacement: Option<&(Matrix, Matrix)>,
+) {
+    match replacement {
+        Some((a, b)) => {
+            let nu = net.fresh_leg();
+            net.add(Tensor::from_matrix(a), vec![nu, upper[q]]);
+            upper[q] = nu;
+            let nl = net.fresh_leg();
+            net.add(Tensor::from_matrix(b), vec![nl, lower[q]]);
+            lower[q] = nl;
+        }
+        None => {
+            // M_E is 4×4 with row (i1,i2), col (j1,j2): reshape to
+            // [i1, i2, j1, j2] = [upper out, lower out, upper in, lower in].
+            let m = kraus.superoperator();
+            let t = Tensor::from_matrix(&m).reshape(vec![2, 2, 2, 2]);
+            let nu = net.fresh_leg();
+            let nl = net.fresh_leg();
+            net.add(t, vec![nu, nl, upper[q], lower[q]]);
+            upper[q] = nu;
+            lower[q] = nl;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::OrderStrategy;
+    use qns_circuit::generators::ghz;
+    use qns_circuit::Circuit;
+    use qns_linalg::cr;
+
+    #[test]
+    fn product_state_expansion() {
+        let s = ProductState::basis(3, 0b101);
+        let v = s.to_statevector();
+        assert_eq!(v.len(), 8);
+        assert_eq!(v[0b101], Complex64::ONE);
+        assert_eq!(v.iter().filter(|z| **z != Complex64::ZERO).count(), 1);
+    }
+
+    #[test]
+    fn all_plus_has_uniform_amplitudes() {
+        let v = ProductState::all_plus(2).to_statevector();
+        for z in v {
+            assert!((z.re - 0.5).abs() < 1e-12 && z.im.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn amplitude_network_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(2).cz(1, 2).ry(0, 0.4);
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b011);
+        let net = amplitude_network(&c, &psi, &v);
+        let (t, _) = net.contract_all(OrderStrategy::Greedy);
+        let amp = t.scalar_value();
+
+        let sv = c.unitary().matvec(&psi.to_statevector());
+        let expect = qns_linalg::inner_product(&v.to_statevector(), &sv);
+        assert!(amp.approx_eq(expect, 1e-12), "{amp} vs {expect}");
+    }
+
+    #[test]
+    fn conjugated_network_gives_conjugate_amplitude() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1).rz(1, 0.3);
+        let psi = ProductState::all_zeros(2);
+        let v = ProductState::basis(2, 0b10);
+        let plain = amplitude_network_with(&c, &psi, &v, &[], false)
+            .contract_all(OrderStrategy::Greedy)
+            .0
+            .scalar_value();
+        let conj = amplitude_network_with(&c, &psi, &v, &[], true)
+            .contract_all(OrderStrategy::Greedy)
+            .0
+            .scalar_value();
+        assert!(conj.approx_eq(plain.conj(), 1e-12));
+    }
+
+    #[test]
+    fn insertion_changes_amplitude_like_gate() {
+        // Inserting X after gate 0 equals adding an X gate there.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let psi = ProductState::all_zeros(2);
+        let v = ProductState::basis(2, 0b01);
+        let ins = Insertion {
+            after_gate: 0,
+            qubit: 0,
+            matrix: qns_circuit::Gate::X.matrix(),
+        };
+        let with_ins = amplitude_network_with(&c, &psi, &v, &[ins], false)
+            .contract_all(OrderStrategy::Greedy)
+            .0
+            .scalar_value();
+
+        let mut c2 = Circuit::new(2);
+        c2.h(0).x(0).cx(0, 1);
+        let direct = amplitude_network(&c2, &psi, &v)
+            .contract_all(OrderStrategy::Greedy)
+            .0
+            .scalar_value();
+        assert!(with_ins.approx_eq(direct, 1e-12));
+    }
+
+    #[test]
+    fn double_network_noiseless_equals_probability() {
+        let c = ghz(3);
+        let noisy = NoisyCircuit::noiseless(c.clone());
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b111);
+        let net = double_network(&noisy, &psi, &v, &HashMap::new());
+        let (t, _) = net.contract_all(OrderStrategy::Greedy);
+        let val = t.scalar_value();
+        // |⟨111|GHZ⟩|² = 1/2; the double network gives the probability.
+        assert!(val.approx_eq(cr(0.5), 1e-12), "{val}");
+    }
+
+    #[test]
+    fn double_network_matches_density_sim_with_noise() {
+        use qns_noise::channels;
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::amplitude_damping(0.2), 3, 5);
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b111);
+        let net = double_network(&noisy, &psi, &v, &HashMap::new());
+        let (t, _) = net.contract_all(OrderStrategy::Greedy);
+        let tn_val = t.scalar_value().re;
+
+        let exact = qns_sim_density_expectation(&noisy, &psi, &v);
+        assert!((tn_val - exact).abs() < 1e-10, "{tn_val} vs {exact}");
+    }
+
+    #[test]
+    fn replacement_with_identity_pair_matches_noiseless() {
+        use qns_noise::channels;
+        // Replace the only noise by I⊗I: the result must equal the
+        // noiseless probability.
+        let c = ghz(3);
+        let noisy = NoisyCircuit::new(
+            c.clone(),
+            vec![qns_noise::NoiseEvent {
+                after_gate: 1,
+                qubit: 1,
+                kraus: channels::depolarizing(0.3),
+            }],
+        );
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b000);
+        let mut repl = HashMap::new();
+        repl.insert(0usize, (Matrix::identity(2), Matrix::identity(2)));
+        let val = double_network(&noisy, &psi, &v, &repl)
+            .contract_all(OrderStrategy::Greedy)
+            .0
+            .scalar_value()
+            .re;
+        let clean = double_network(
+            &NoisyCircuit::noiseless(c),
+            &psi,
+            &v,
+            &HashMap::new(),
+        )
+        .contract_all(OrderStrategy::Greedy)
+        .0
+        .scalar_value()
+        .re;
+        assert!((val - clean).abs() < 1e-12);
+    }
+
+    /// Dense density-matrix reference, local to these tests (avoids a
+    /// dev-dependency cycle with `qns-sim`).
+    fn qns_sim_density_expectation(
+        noisy: &NoisyCircuit,
+        psi: &ProductState,
+        v: &ProductState,
+    ) -> f64 {
+        let n = noisy.n_qubits();
+        let psi_v = psi.to_statevector();
+        let dim = 1usize << n;
+        let mut rho = Matrix::zeros(dim, dim);
+        for r in 0..dim {
+            for c2 in 0..dim {
+                rho[(r, c2)] = psi_v[r] * psi_v[c2].conj();
+            }
+        }
+        for el in noisy.elements() {
+            match el {
+                qns_noise::Element::Gate(op) => {
+                    let g = expand(noisy.circuit(), op);
+                    rho = g.matmul(&rho).matmul(&g.adjoint());
+                }
+                qns_noise::Element::Noise(e) => {
+                    let mut acc = Matrix::zeros(dim, dim);
+                    for k in e.kraus.operators() {
+                        let full = expand_single(n, e.qubit, k);
+                        acc = &acc + &full.matmul(&rho).matmul(&full.adjoint());
+                    }
+                    rho = acc;
+                }
+            }
+        }
+        let vv = v.to_statevector();
+        let mut out = Complex64::ZERO;
+        for r in 0..dim {
+            for c2 in 0..dim {
+                out += vv[r].conj() * rho[(r, c2)] * vv[c2];
+            }
+        }
+        out.re
+    }
+
+    fn expand(circuit: &Circuit, op: &qns_circuit::Operation) -> Matrix {
+        let mut c = Circuit::new(circuit.n_qubits());
+        c.push(op.clone());
+        c.unitary()
+    }
+
+    fn expand_single(n: usize, q: usize, m: &Matrix) -> Matrix {
+        let mut full = Matrix::identity(1);
+        for i in 0..n {
+            let f = if i == q { m.clone() } else { Matrix::identity(2) };
+            full = full.kron(&f);
+        }
+        full
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Tensor networks for (noisy) quantum circuit simulation.
+//!
+//! This crate is the workspace's replacement for the Google
+//! TensorNetwork library the paper builds on:
+//!
+//! * [`network`] — a [`network::TensorNetwork`] of dense tensors
+//!   connected by shared legs, with greedy or sequential contraction
+//!   ordering.
+//! * [`builder`] — circuit-to-network translation: the single-side
+//!   amplitude network `⟨v|C|ψ⟩` and the paper's **double-size noisy
+//!   network** (Fig. 2) in which each noise channel appears as its
+//!   superoperator tensor `M_E = Σ E_k ⊗ E_k*` bridging the two halves.
+//! * [`simulator`] — the **TN-based exact method** (contract the double
+//!   network) and a TN-based quantum-trajectories variant.
+//!
+//! # Example
+//!
+//! ```
+//! use qns_circuit::generators::ghz;
+//! use qns_tnet::builder::ProductState;
+//! use qns_tnet::simulator;
+//! use qns_noise::NoisyCircuit;
+//!
+//! let noisy = NoisyCircuit::noiseless(ghz(3));
+//! let f = simulator::expectation(
+//!     &noisy,
+//!     &ProductState::all_zeros(3),
+//!     &ProductState::basis(3, 0b000),
+//!     qns_tnet::network::OrderStrategy::Greedy,
+//! );
+//! assert!((f - 0.5).abs() < 1e-10); // |⟨000|GHZ⟩|² = 1/2
+//! ```
+
+pub mod builder;
+pub mod network;
+pub mod simulator;

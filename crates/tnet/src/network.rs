@@ -1,0 +1,412 @@
+//! Tensor network graphs and contraction.
+//!
+//! Nodes hold dense [`Tensor`]s whose axes carry *leg identifiers*. A
+//! leg shared by exactly two nodes is a contracted bond; a leg owned by
+//! one node is an open output. [`TensorNetwork::contract_all`] reduces
+//! the network to a single tensor using either a greedy pairwise
+//! ordering (minimize the size of the produced intermediate) or the
+//! naive sequential order — the ablation pair called out in DESIGN.md.
+
+use qns_linalg::Complex64;
+use qns_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Identifier of a network leg (bond or open index).
+pub type LegId = usize;
+
+/// Identifier of a node within a [`TensorNetwork`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// Contraction-order strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderStrategy {
+    /// Repeatedly contract the connected pair whose result is smallest.
+    #[default]
+    Greedy,
+    /// Contract nodes in insertion order (baseline for ablation).
+    Sequential,
+}
+
+/// Statistics from a contraction run (for benchmarking and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ContractionStats {
+    /// Number of pairwise contractions performed.
+    pub contractions: usize,
+    /// Largest intermediate tensor size (elements).
+    pub max_intermediate: usize,
+    /// Total scalar multiply-adds proxy: Σ (m·k·n) over contractions.
+    pub flops_proxy: u128,
+}
+
+/// A network of dense tensors connected by shared legs.
+///
+/// ```
+/// use qns_tnet::network::TensorNetwork;
+/// use qns_tensor::Tensor;
+/// use qns_linalg::cr;
+///
+/// let mut net = TensorNetwork::new();
+/// let bond = net.fresh_leg();
+/// // ⟨a|b⟩ with a = (1,2), b = (3,4): expect 11.
+/// net.add(Tensor::from_vec(vec![cr(1.0), cr(2.0)], vec![2]), vec![bond]);
+/// net.add(Tensor::from_vec(vec![cr(3.0), cr(4.0)], vec![2]), vec![bond]);
+/// let (t, _) = net.contract_all(Default::default());
+/// assert_eq!(t.scalar_value(), cr(11.0));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TensorNetwork {
+    nodes: Vec<Option<(Tensor, Vec<LegId>)>>,
+    next_leg: LegId,
+}
+
+impl TensorNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        TensorNetwork::default()
+    }
+
+    /// Allocates a fresh leg identifier.
+    pub fn fresh_leg(&mut self) -> LegId {
+        let l = self.next_leg;
+        self.next_leg += 1;
+        l
+    }
+
+    /// Adds a tensor whose axes carry `legs` (one per axis, in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `legs.len() != tensor.rank()`, a leg repeats within
+    /// the node, or a leg is already used by two other nodes.
+    pub fn add(&mut self, tensor: Tensor, legs: Vec<LegId>) -> NodeId {
+        assert_eq!(legs.len(), tensor.rank(), "one leg per tensor axis");
+        for (i, l) in legs.iter().enumerate() {
+            assert!(
+                !legs[..i].contains(l),
+                "leg {l} repeated within one node (traces unsupported)"
+            );
+        }
+        for l in &legs {
+            let uses = self
+                .live_nodes()
+                .filter(|(_, (_, ls))| ls.contains(l))
+                .count();
+            assert!(uses < 2, "leg {l} already connects two nodes");
+            self.next_leg = self.next_leg.max(l + 1);
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Some((tensor, legs)));
+        NodeId(id)
+    }
+
+    /// Number of live (uncontracted) nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    fn live_nodes(&self) -> impl Iterator<Item = (usize, &(Tensor, Vec<LegId>))> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|t| (i, t)))
+    }
+
+    /// Legs appearing on exactly one live node (the network's outputs).
+    pub fn open_legs(&self) -> Vec<LegId> {
+        let mut count: HashMap<LegId, usize> = HashMap::new();
+        for (_, (_, legs)) in self.live_nodes() {
+            for &l in legs {
+                *count.entry(l).or_insert(0) += 1;
+            }
+        }
+        let mut open: Vec<LegId> = count
+            .into_iter()
+            .filter_map(|(l, c)| (c == 1).then_some(l))
+            .collect();
+        open.sort_unstable();
+        open
+    }
+
+    /// Contracts two nodes over all their shared legs (outer product if
+    /// none) and inserts the result. Returns the new node.
+    fn contract_pair(&mut self, a: usize, b: usize, stats: &mut ContractionStats) -> usize {
+        let (ta, la) = self.nodes[a].take().expect("node a live");
+        let (tb, lb) = self.nodes[b].take().expect("node b live");
+        let shared: Vec<LegId> = la.iter().copied().filter(|l| lb.contains(l)).collect();
+        let axes_a: Vec<usize> = shared
+            .iter()
+            .map(|l| la.iter().position(|x| x == l).expect("shared in a"))
+            .collect();
+        let axes_b: Vec<usize> = shared
+            .iter()
+            .map(|l| lb.iter().position(|x| x == l).expect("shared in b"))
+            .collect();
+        let result = ta.contract(&tb, &axes_a, &axes_b);
+        let mut legs: Vec<LegId> = la
+            .iter()
+            .copied()
+            .filter(|l| !shared.contains(l))
+            .collect();
+        legs.extend(lb.iter().copied().filter(|l| !shared.contains(l)));
+
+        stats.contractions += 1;
+        stats.max_intermediate = stats.max_intermediate.max(result.len());
+        let k: usize = axes_a.iter().map(|&i| ta.shape()[i]).product();
+        let m = ta.len() / k.max(1);
+        let n = tb.len() / k.max(1);
+        stats.flops_proxy += (m as u128) * (k.max(1) as u128) * (n as u128);
+
+        let id = self.nodes.len();
+        self.nodes.push(Some((result, legs)));
+        id
+    }
+
+    /// Result size (elements) of contracting nodes `a` and `b`.
+    fn pair_cost(&self, a: usize, b: usize) -> usize {
+        let (ta, la) = self.nodes[a].as_ref().expect("live");
+        let (tb, lb) = self.nodes[b].as_ref().expect("live");
+        let mut size = 1usize;
+        for (i, l) in la.iter().enumerate() {
+            if !lb.contains(l) {
+                size = size.saturating_mul(ta.shape()[i]);
+            }
+        }
+        for (i, l) in lb.iter().enumerate() {
+            if !la.contains(l) {
+                size = size.saturating_mul(tb.shape()[i]);
+            }
+        }
+        size
+    }
+
+    /// Contracts the whole network to a single tensor.
+    ///
+    /// Returns the final tensor (axes ordered by ascending open-leg id)
+    /// and contraction statistics. An empty network yields the scalar 1.
+    pub fn contract_all(mut self, strategy: OrderStrategy) -> (Tensor, ContractionStats) {
+        let mut stats = ContractionStats::default();
+        if self.node_count() == 0 {
+            return (Tensor::scalar(Complex64::ONE), stats);
+        }
+        loop {
+            let live: Vec<usize> = self.live_nodes().map(|(i, _)| i).collect();
+            if live.len() == 1 {
+                break;
+            }
+            // Candidate pairs: connected ones preferred; fall back to the
+            // first two (outer product) for disconnected components.
+            let mut best: Option<(usize, usize, usize)> = None;
+            match strategy {
+                OrderStrategy::Greedy => {
+                    for (ii, &a) in live.iter().enumerate() {
+                        let legs_a = &self.nodes[a].as_ref().expect("live").1;
+                        for &b in live.iter().skip(ii + 1) {
+                            let connected = {
+                                let legs_b = &self.nodes[b].as_ref().expect("live").1;
+                                legs_a.iter().any(|l| legs_b.contains(l))
+                            };
+                            if !connected {
+                                continue;
+                            }
+                            let cost = self.pair_cost(a, b);
+                            if best.map(|(_, _, c)| cost < c).unwrap_or(true) {
+                                best = Some((a, b, cost));
+                            }
+                        }
+                    }
+                }
+                OrderStrategy::Sequential => {
+                    let a = live[0];
+                    let legs_a = &self.nodes[a].as_ref().expect("live").1;
+                    for &b in live.iter().skip(1) {
+                        let legs_b = &self.nodes[b].as_ref().expect("live").1;
+                        if legs_a.iter().any(|l| legs_b.contains(l)) {
+                            best = Some((a, b, 0));
+                            break;
+                        }
+                    }
+                }
+            }
+            let (a, b) = match best {
+                Some((a, b, _)) => (a, b),
+                // Disconnected network: outer-product the first two.
+                None => (live[0], live[1]),
+            };
+            self.contract_pair(a, b, &mut stats);
+        }
+        let idx = self
+            .live_nodes()
+            .map(|(i, _)| i)
+            .next()
+            .expect("one node remains");
+        let (tensor, legs) = self.nodes[idx].take().expect("live");
+        // Normalize axis order to ascending leg id.
+        let mut order: Vec<usize> = (0..legs.len()).collect();
+        order.sort_by_key(|&i| legs[i]);
+        let tensor = if order.windows(2).all(|w| w[0] < w[1]) {
+            tensor
+        } else {
+            tensor.permute(&order)
+        };
+        (tensor, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_linalg::{cr, Matrix};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn rand_tensor(rng: &mut StdRng, shape: Vec<usize>) -> Tensor {
+        let len = shape.iter().product();
+        let data = (0..len)
+            .map(|_| qns_linalg::c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+            .collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    #[test]
+    fn empty_network_is_one() {
+        let net = TensorNetwork::new();
+        let (t, _) = net.contract_all(OrderStrategy::Greedy);
+        assert_eq!(t.scalar_value(), Complex64::ONE);
+    }
+
+    #[test]
+    fn single_node_returned_as_is() {
+        let mut net = TensorNetwork::new();
+        let l = net.fresh_leg();
+        net.add(Tensor::from_vec(vec![cr(1.0), cr(2.0)], vec![2]), vec![l]);
+        let (t, stats) = net.contract_all(OrderStrategy::Greedy);
+        assert_eq!(t.shape(), &[2]);
+        assert_eq!(stats.contractions, 0);
+    }
+
+    #[test]
+    fn matrix_chain_contraction() {
+        // A·B·C as a chain network equals the matrix product.
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = rand_tensor(&mut rng, vec![2, 3]);
+        let b = rand_tensor(&mut rng, vec![3, 4]);
+        let c = rand_tensor(&mut rng, vec![4, 2]);
+        let expect = a
+            .to_matrix()
+            .matmul(&b.to_matrix())
+            .matmul(&c.to_matrix());
+
+        for strategy in [OrderStrategy::Greedy, OrderStrategy::Sequential] {
+            let mut net = TensorNetwork::new();
+            let (l0, l1, l2, l3) = (
+                net.fresh_leg(),
+                net.fresh_leg(),
+                net.fresh_leg(),
+                net.fresh_leg(),
+            );
+            net.add(a.clone(), vec![l0, l1]);
+            net.add(b.clone(), vec![l1, l2]);
+            net.add(c.clone(), vec![l2, l3]);
+            let (t, stats) = net.contract_all(strategy);
+            assert_eq!(t.shape(), &[2, 2]);
+            assert!(t.to_matrix().approx_eq(&expect, 1e-10), "{strategy:?}");
+            assert_eq!(stats.contractions, 2);
+        }
+    }
+
+    #[test]
+    fn open_legs_sorted_and_correct() {
+        let mut net = TensorNetwork::new();
+        let bond = net.fresh_leg();
+        let o1 = net.fresh_leg();
+        let o2 = net.fresh_leg();
+        net.add(Tensor::zeros(vec![2, 3]), vec![o2, bond]);
+        net.add(Tensor::zeros(vec![3, 4]), vec![bond, o1]);
+        assert_eq!(net.open_legs(), vec![o1, o2]);
+    }
+
+    #[test]
+    fn result_axes_follow_leg_order() {
+        // Output axes must be sorted by leg id regardless of
+        // contraction order.
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = rand_tensor(&mut rng, vec![2, 3]);
+        let b = rand_tensor(&mut rng, vec![3, 5]);
+        let mut net = TensorNetwork::new();
+        let out_b = net.fresh_leg(); // smaller id ends up first
+        let bond = net.fresh_leg();
+        let out_a = net.fresh_leg();
+        net.add(a.clone(), vec![out_a, bond]);
+        net.add(b.clone(), vec![bond, out_b]);
+        let (t, _) = net.contract_all(OrderStrategy::Greedy);
+        // axes: [out_b (5), out_a (2)]
+        assert_eq!(t.shape(), &[5, 2]);
+        let direct = a.contract(&b, &[1], &[0]); // [2,5]
+        assert!(t.approx_eq(&direct.permute(&[1, 0]), 1e-12));
+    }
+
+    #[test]
+    fn disconnected_components_outer_product() {
+        let mut net = TensorNetwork::new();
+        let l1 = net.fresh_leg();
+        let l2 = net.fresh_leg();
+        net.add(Tensor::from_vec(vec![cr(2.0)], vec![1]), vec![l1]);
+        net.add(Tensor::from_vec(vec![cr(3.0)], vec![1]), vec![l2]);
+        let (t, _) = net.contract_all(OrderStrategy::Greedy);
+        assert_eq!(t.shape(), &[1, 1]);
+        assert_eq!(t.as_slice()[0], cr(6.0));
+    }
+
+    #[test]
+    fn greedy_beats_or_matches_sequential_on_a_chain() {
+        // A long product chain with a fat middle tensor: greedy should
+        // not exceed sequential in max intermediate size.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mk = |rng: &mut StdRng, s: Vec<usize>| rand_tensor(rng, s);
+        let build = |rng: &mut StdRng| {
+            let mut net = TensorNetwork::new();
+            let legs: Vec<LegId> = (0..5).map(|_| net.fresh_leg()).collect();
+            net.add(mk(rng, vec![2, 2]), vec![legs[0], legs[1]]);
+            net.add(mk(rng, vec![2, 8]), vec![legs[1], legs[2]]);
+            net.add(mk(rng, vec![8, 2]), vec![legs[2], legs[3]]);
+            net.add(mk(rng, vec![2, 2]), vec![legs[3], legs[4]]);
+            net
+        };
+        let (_, g) = build(&mut rng).contract_all(OrderStrategy::Greedy);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let (_, s) = build(&mut rng2).contract_all(OrderStrategy::Sequential);
+        assert!(g.max_intermediate <= s.max_intermediate);
+    }
+
+    #[test]
+    fn identity_ladder_contracts_to_identity() {
+        let mut net = TensorNetwork::new();
+        let id = Tensor::from_matrix(&Matrix::identity(2));
+        let a = net.fresh_leg();
+        let b = net.fresh_leg();
+        let c = net.fresh_leg();
+        net.add(id.clone(), vec![a, b]);
+        net.add(id, vec![b, c]);
+        let (t, _) = net.contract_all(OrderStrategy::Greedy);
+        assert!(t.to_matrix().approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "already connects two nodes")]
+    fn triple_leg_use_panics() {
+        let mut net = TensorNetwork::new();
+        let l = net.fresh_leg();
+        net.add(Tensor::zeros(vec![2]), vec![l]);
+        net.add(Tensor::zeros(vec![2]), vec![l]);
+        net.add(Tensor::zeros(vec![2]), vec![l]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one leg per tensor axis")]
+    fn leg_count_mismatch_panics() {
+        let mut net = TensorNetwork::new();
+        let l = net.fresh_leg();
+        net.add(Tensor::zeros(vec![2, 2]), vec![l]);
+    }
+}

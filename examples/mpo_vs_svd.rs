@@ -1,0 +1,94 @@
+//! Two approximation families head-to-head: MPO bond truncation vs
+//! the paper's SVD level scheme.
+//!
+//! The paper's introduction positions its algorithm against the
+//! MPS/MPO/MPDO line of work. This example makes that comparison
+//! concrete on a noisy ring-QAOA circuit: sweep the MPO bond dimension
+//! `χ` and the approximation level `l`, reporting error against exact
+//! density-matrix simulation for each operating point.
+//!
+//! Run with: `cargo run --release --example mpo_vs_svd`
+
+use qns::circuit::generators::{qaoa_ring, QaoaRound};
+use qns::core::approx::{approximate_expectation, ApproxOptions};
+use qns::mpo::MpoState;
+use qns::noise::{channels, NoisyCircuit};
+use qns::sim::{density, statevector};
+use qns::tnet::builder::ProductState;
+use std::time::Instant;
+
+fn main() {
+    let rounds = [
+        QaoaRound {
+            gamma: 0.45,
+            beta: 0.3,
+        },
+        QaoaRound {
+            gamma: 0.3,
+            beta: 0.25,
+        },
+    ];
+    let circuit = qaoa_ring(8, &rounds);
+    let n = circuit.n_qubits();
+    let noisy = NoisyCircuit::inject_random(
+        circuit,
+        &channels::thermal_relaxation(30.0, 40.0, 80.0),
+        6,
+        17,
+    );
+    println!("{noisy}\n");
+
+    let exact = density::expectation(
+        &noisy,
+        &statevector::zero_state(n),
+        &statevector::basis_state(n, 0),
+    );
+    println!("exact ⟨0…0|ρ|0…0⟩ = {exact:.9}\n");
+
+    println!("MPO (bond-truncation family):");
+    println!("{:>6} {:>12} {:>13} {:>10}", "χ", "error", "trunc.err", "time");
+    for chi in [1usize, 2, 4, 8, 16, 32] {
+        let t0 = Instant::now();
+        let mut rho = MpoState::all_zeros(n, chi);
+        rho.run(&noisy);
+        let val = rho.probability_of_basis(0);
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{:>6} {:>12.2e} {:>13.2e} {:>9.3}s",
+            chi,
+            (val - exact).abs(),
+            rho.truncation_error(),
+            dt
+        );
+    }
+
+    println!("\nSVD approximation (the paper's level family):");
+    println!("{:>6} {:>12} {:>13} {:>10}", "level", "error", "contractions", "time");
+    for level in 0..=3 {
+        let t0 = Instant::now();
+        let res = approximate_expectation(
+            &noisy,
+            &ProductState::all_zeros(n),
+            &ProductState::basis(n, 0),
+            &ApproxOptions {
+                level,
+                ..Default::default()
+            },
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{:>6} {:>12.2e} {:>13} {:>9.3}s",
+            level,
+            (res.value - exact).abs(),
+            res.contractions,
+            dt
+        );
+    }
+
+    println!(
+        "\nBoth families trade accuracy for cost through an SVD — the MPO \
+         truncates bonds globally while the paper's scheme truncates each \
+         noise tensor and enumerates correction patterns. For weak noise \
+         the level scheme reaches far smaller errors at fixed cost."
+    );
+}

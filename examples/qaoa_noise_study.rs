@@ -1,0 +1,103 @@
+//! QAOA noise study: how fidelity and approximation accuracy evolve
+//! with the number of injected noise channels.
+//!
+//! Mirrors the paper's headline workload (hardware-style QAOA with
+//! realistic superconducting decoherence) on a laptop-sized grid.
+//! For each noise count the example reports the exact fidelity against
+//! the ideal output, the level-1 approximation, its error, and the
+//! Theorem-1 bound.
+//!
+//! Run with: `cargo run --release --example qaoa_noise_study`
+
+use qns::circuit::generators::{qaoa_grid, QaoaRound};
+use qns::core::approx::{append_ideal_inverse, approximate_expectation, ApproxOptions};
+use qns::core::bounds;
+use qns::noise::{channels, NoisyCircuit};
+use qns::sim::{density, statevector};
+use qns::tnet::builder::ProductState;
+use std::time::Instant;
+
+fn main() {
+    let rounds = [QaoaRound {
+        gamma: 0.35,
+        beta: 0.22,
+    }];
+    let circuit = qaoa_grid(2, 3, &rounds); // 6-qubit grid QAOA
+    let n = circuit.n_qubits();
+    println!(
+        "QAOA on a 2×3 grid: {} gates, depth {}",
+        circuit.gate_count(),
+        circuit.depth()
+    );
+
+    // Realistic decoherence after random gates.
+    let channel = channels::thermal_relaxation(25.0, 35.0, 50.0);
+    let p = channel.noise_rate();
+    println!("channel: thermal relaxation, rate p = {p:.3e}\n");
+
+    // Fidelity target: the ideal (noiseless) output state.
+    let ideal = statevector::run(&circuit, &statevector::zero_state(n));
+
+    println!(
+        "{:>7} {:>14} {:>14} {:>11} {:>11} {:>9}",
+        "#noise", "exact F", "level-1 A(1)", "error", "bound", "time"
+    );
+    for n_noises in [1usize, 2, 4, 6, 8, 12] {
+        let noisy = NoisyCircuit::inject_random(circuit.clone(), &channel, n_noises, 1000 + n_noises as u64);
+
+        let exact = density::expectation(&noisy, &statevector::zero_state(n), &ideal);
+
+        let extended = append_ideal_inverse(&noisy);
+        let start = Instant::now();
+        let res = approximate_expectation(
+            &extended,
+            &ProductState::all_zeros(n),
+            &ProductState::all_zeros(n),
+            &ApproxOptions {
+                level: 1,
+                ..Default::default()
+            },
+        );
+        let dt = start.elapsed().as_secs_f64();
+
+        println!(
+            "{:>7} {:>14.9} {:>14.9} {:>11.2e} {:>11.2e} {:>8.2}s",
+            n_noises,
+            exact,
+            res.value,
+            (res.value - exact).abs(),
+            bounds::error_bound(n_noises, p, 1),
+            dt,
+        );
+    }
+
+    println!("\nLevel sweep at 6 noises (cost/accuracy trade-off, Table IV flavour):");
+    let noisy = NoisyCircuit::inject_random(circuit.clone(), &channel, 6, 2024);
+    let exact = density::expectation(&noisy, &statevector::zero_state(n), &ideal);
+    let extended = append_ideal_inverse(&noisy);
+    println!(
+        "{:>6} {:>14} {:>11} {:>13} {:>9}",
+        "level", "A(l)", "error", "contractions", "time"
+    );
+    for level in 0..=3 {
+        let start = Instant::now();
+        let res = approximate_expectation(
+            &extended,
+            &ProductState::all_zeros(n),
+            &ProductState::all_zeros(n),
+            &ApproxOptions {
+                level,
+                ..Default::default()
+            },
+        );
+        let dt = start.elapsed().as_secs_f64();
+        println!(
+            "{:>6} {:>14.9} {:>11.2e} {:>13} {:>8.2}s",
+            level,
+            res.value,
+            (res.value - exact).abs(),
+            res.contractions,
+            dt,
+        );
+    }
+}

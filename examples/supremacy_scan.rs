@@ -1,0 +1,76 @@
+//! Supremacy-circuit scan: TN-exact contraction vs the approximation
+//! as the noise count grows (the paper's Fig. 4 story).
+//!
+//! On `inst_RxC_D` random circuits the double-size network's
+//! contraction cost grows quickly with the number of noise bridges,
+//! while the level-1 approximation's cost is linear in the noise
+//! count. This example prints both costs side by side.
+//!
+//! Run with: `cargo run --release --example supremacy_scan`
+
+use qns::circuit::generators::inst_grid;
+use qns::core::approx::{approximate_expectation, ApproxOptions};
+use qns::noise::{channels, NoisyCircuit};
+use qns::tnet::builder::ProductState;
+use qns::tnet::network::OrderStrategy;
+use qns::tnet::simulator;
+use std::time::Instant;
+
+fn main() {
+    let (rows, cols, depth) = (2, 3, 8);
+    let circuit = inst_grid(rows, cols, depth, 11);
+    let n = circuit.n_qubits();
+    println!(
+        "inst_{rows}x{cols}_{depth}: {} qubits, {} gates, depth {}",
+        n,
+        circuit.gate_count(),
+        circuit.depth()
+    );
+    let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
+    let psi = ProductState::all_zeros(n);
+    let v = ProductState::all_zeros(n);
+
+    println!(
+        "\n{:>7} {:>12} {:>13} {:>12} {:>13} {:>11}",
+        "#noise", "TN exact", "TN time", "ours (l=1)", "ours time", "|diff|"
+    );
+    for n_noises in [0usize, 2, 4, 8, 12, 16] {
+        let noisy = if n_noises == 0 {
+            NoisyCircuit::noiseless(circuit.clone())
+        } else {
+            NoisyCircuit::inject_random(circuit.clone(), &channel, n_noises, 500 + n_noises as u64)
+        };
+
+        let t0 = Instant::now();
+        let tn = simulator::expectation(&noisy, &psi, &v, OrderStrategy::Greedy);
+        let tn_time = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let ours = approximate_expectation(
+            &noisy,
+            &psi,
+            &v,
+            &ApproxOptions {
+                level: 1,
+                ..Default::default()
+            },
+        );
+        let ours_time = t1.elapsed().as_secs_f64();
+
+        println!(
+            "{:>7} {:>12.6e} {:>12.3}s {:>12.6e} {:>12.3}s {:>11.2e}",
+            n_noises,
+            tn,
+            tn_time,
+            ours.value,
+            ours_time,
+            (tn - ours.value).abs(),
+        );
+    }
+
+    println!(
+        "\nThe approximation's cost column grows linearly with the noise \
+         count (2(1+3N) contractions),\nwhile the exact double-network \
+         contraction degrades as noise tensors bridge the two halves."
+    );
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Umbrella crate re-exporting the entire `qns` workspace.
+//!
+//! `qns` reproduces "Approximation Algorithm for Noisy Quantum Circuit
+//! Simulation" (DATE 2024). See the individual crates for details; this
+//! crate exists so that examples, integration tests and downstream users
+//! can depend on a single package.
+//!
+//! # Example
+//!
+//! ```
+//! use qns::prelude::*;
+//!
+//! let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
+//! let noisy = NoisyCircuit::inject_random(generators::ghz(4), &channel, 2, 7);
+//! let res = approximate_expectation(
+//!     &noisy,
+//!     &ProductState::all_zeros(4),
+//!     &ProductState::all_zeros(4),
+//!     &ApproxOptions::default(),
+//! );
+//! assert!((res.value - 0.5).abs() < 0.01);
+//! ```
+
+pub use qns_circuit as circuit;
+pub use qns_core as core;
+pub use qns_linalg as linalg;
+pub use qns_mpo as mpo;
+pub use qns_noise as noise;
+pub use qns_sim as sim;
+pub use qns_tdd as tdd;
+pub use qns_tensor as tensor;
+pub use qns_tnet as tnet;
+
+/// The items most programs need, in one import.
+pub mod prelude {
+    pub use qns_circuit::{generators, Circuit, Gate, Operation};
+    pub use qns_core::{
+        approximate_expectation, error_bound, simulate_auto, ApproxOptions, NoiseSvd,
+    };
+    pub use qns_linalg::{Complex64, Matrix};
+    pub use qns_noise::{channels, Kraus, NoisyCircuit};
+    pub use qns_tnet::builder::ProductState;
+    pub use qns_tnet::network::OrderStrategy;
+}

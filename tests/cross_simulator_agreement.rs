@@ -1,0 +1,176 @@
+//! Cross-simulator agreement: every engine in the workspace must
+//! produce the same `⟨v|E_N(|ψ⟩⟨ψ|)|v⟩` on the same noisy circuit.
+//!
+//! This is the load-bearing integration test: MM-based density
+//! matrices, decision diagrams, tensor-network contraction, the
+//! full-level (exact) SVD approximation, and quantum trajectories all
+//! agree within their respective tolerances.
+
+use qns::circuit::generators::{ghz, hf_vqe, inst_grid, qaoa_ring, qft, QaoaRound};
+use qns::circuit::Circuit;
+use qns::core::approx::{approximate_expectation, ApproxOptions};
+use qns::noise::{channels, Kraus, NoisyCircuit};
+use qns::sim::{density, statevector, trajectory};
+use qns::tnet::builder::ProductState;
+use qns::tnet::network::OrderStrategy;
+use qns::tnet::simulator as tn;
+
+/// All engines on one configuration; asserts pairwise agreement.
+fn check_all_engines(noisy: &NoisyCircuit, v_bits: usize, label: &str) {
+    let n = noisy.n_qubits();
+    let n_noises = noisy.noise_count();
+
+    let psi_sv = statevector::zero_state(n);
+    let v_sv = statevector::basis_state(n, v_bits);
+    let mm = density::expectation(noisy, &psi_sv, &v_sv);
+
+    let dd = qns::tdd::expectation(
+        noisy,
+        &qns::tdd::simulator::zeros(n),
+        &qns::tdd::simulator::basis(n, v_bits),
+    );
+    assert!((mm - dd).abs() < 1e-9, "{label}: MM {mm} vs TDD {dd}");
+
+    let psi = ProductState::all_zeros(n);
+    let v = ProductState::basis(n, v_bits);
+    let tn_val = tn::expectation(noisy, &psi, &v, OrderStrategy::Greedy);
+    assert!((mm - tn_val).abs() < 1e-9, "{label}: MM {mm} vs TN {tn_val}");
+
+    let exact_approx = approximate_expectation(
+        noisy,
+        &psi,
+        &v,
+        &ApproxOptions {
+            level: n_noises, // full level = exact
+            ..Default::default()
+        },
+    );
+    assert!(
+        (mm - exact_approx.value).abs() < 1e-9,
+        "{label}: MM {mm} vs full-level approx {}",
+        exact_approx.value
+    );
+
+    // MPO with a generous bond cap is exact at these sizes.
+    let mpo = qns::mpo::state::expectation(noisy, v_bits, 64);
+    assert!((mm - mpo).abs() < 1e-8, "{label}: MM {mm} vs MPO {mpo}");
+}
+
+fn channel_zoo() -> Vec<(&'static str, Kraus)> {
+    vec![
+        ("depolarizing", channels::depolarizing(0.02)),
+        ("bit_flip", channels::bit_flip(0.05)),
+        ("amplitude_damping", channels::amplitude_damping(0.08)),
+        ("phase_damping", channels::phase_damping(0.06)),
+        ("thermal", channels::thermal_relaxation(30.0, 45.0, 100.0)),
+        ("pauli", channels::pauli_channel(0.01, 0.02, 0.015)),
+    ]
+}
+
+#[test]
+fn agreement_on_ghz_across_channels() {
+    for (name, ch) in channel_zoo() {
+        let noisy = NoisyCircuit::inject_random(ghz(4), &ch, 3, 17);
+        check_all_engines(&noisy, 0b1111, &format!("ghz/{name}"));
+    }
+}
+
+#[test]
+fn agreement_on_qaoa() {
+    let rounds = [QaoaRound {
+        gamma: 0.45,
+        beta: 0.31,
+    }];
+    let c = qaoa_ring(5, &rounds);
+    for (name, ch) in channel_zoo().into_iter().take(3) {
+        let noisy = NoisyCircuit::inject_random(c.clone(), &ch, 3, 23);
+        check_all_engines(&noisy, 0, &format!("qaoa/{name}"));
+    }
+}
+
+#[test]
+fn agreement_on_hf_vqe() {
+    let c = hf_vqe(5, 2, 99);
+    let noisy =
+        NoisyCircuit::inject_random(c, &channels::thermal_relaxation(30.0, 40.0, 50.0), 4, 31);
+    // HF circuits preserve particle number; test a weight-2 output.
+    check_all_engines(&noisy, 0b11000, "hf_vqe");
+}
+
+#[test]
+fn agreement_on_supremacy() {
+    let c = inst_grid(2, 3, 6, 7);
+    let noisy = NoisyCircuit::inject_random(c, &channels::depolarizing(0.01), 4, 41);
+    check_all_engines(&noisy, 0b010101, "inst_2x3_6");
+}
+
+#[test]
+fn agreement_on_qft() {
+    let c = qft(4);
+    let noisy = NoisyCircuit::inject_random(c, &channels::phase_flip(0.03), 3, 53);
+    check_all_engines(&noisy, 0b1010, "qft");
+}
+
+#[test]
+fn agreement_with_multiple_channel_kinds_in_one_circuit() {
+    // Mix channels at explicit positions.
+    let mut c = Circuit::new(3);
+    c.h(0).cx(0, 1).cx(1, 2).t(2).cz(0, 2);
+    let events = vec![
+        qns::noise::NoiseEvent {
+            after_gate: 1,
+            qubit: 1,
+            kraus: channels::amplitude_damping(0.1),
+        },
+        qns::noise::NoiseEvent {
+            after_gate: 3,
+            qubit: 2,
+            kraus: channels::depolarizing(0.05),
+        },
+        qns::noise::NoiseEvent {
+            after_gate: 4,
+            qubit: 0,
+            kraus: channels::phase_damping(0.07),
+        },
+    ];
+    let noisy = NoisyCircuit::new(c, events);
+    check_all_engines(&noisy, 0b110, "mixed-channels");
+}
+
+#[test]
+fn trajectories_agree_within_statistics() {
+    let noisy = NoisyCircuit::inject_random(ghz(4), &channels::depolarizing(0.1), 4, 3);
+    let psi = statevector::zero_state(4);
+    let v = statevector::ghz_state(4);
+    let exact = density::expectation(&noisy, &psi, &v);
+
+    for strategy in [
+        trajectory::SamplingStrategy::General,
+        trajectory::SamplingStrategy::MixedUnitaryFastPath,
+    ] {
+        let est = trajectory::estimate(&noisy, &psi, &v, 6000, strategy, 9);
+        assert!(
+            (est.mean - exact).abs() < 5.0 * est.std_error.max(1e-3),
+            "{strategy:?}: {} vs exact {exact}",
+            est.mean
+        );
+    }
+
+    // TN trajectories too.
+    let p = ProductState::all_zeros(4);
+    let vtn = ProductState::basis(4, 0);
+    let exact0 = density::expectation(&noisy, &psi, &statevector::basis_state(4, 0));
+    let est = tn::trajectory_estimate(&noisy, &p, &vtn, 3000, OrderStrategy::Greedy, 11);
+    assert!(
+        (est.mean - exact0).abs() < 5.0 * est.std_error.max(2e-3),
+        "TN traj {} vs exact {exact0}",
+        est.mean
+    );
+}
+
+#[test]
+fn initial_noise_handled_by_all_engines() {
+    let mut noisy = NoisyCircuit::noiseless(ghz(3));
+    noisy.push_initial(0, channels::bit_flip(0.2));
+    check_all_engines(&noisy, 0b111, "initial-noise");
+}

@@ -1,0 +1,144 @@
+//! Empirical validation of the paper's lemmas and Theorem 1 across
+//! circuits, channels and levels.
+
+use qns::circuit::generators::{ghz, qaoa_ring, QaoaRound};
+use qns::core::approx::{approximate_expectation, ApproxOptions};
+use qns::core::{bounds, tensor_permute, NoiseSvd};
+use qns::linalg::Matrix;
+use qns::noise::{channels, NoisyCircuit};
+use qns::sim::{density, statevector};
+use qns::tnet::builder::ProductState;
+
+fn opts(level: usize) -> ApproxOptions {
+    ApproxOptions {
+        level,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn lemma_1_on_channel_superoperators() {
+    // ‖Ã − B̃‖ ≤ 2‖A − B‖ where A = M_E, B = I.
+    for p in [1e-4, 1e-3, 1e-2, 0.1] {
+        for (name, ch) in channels::catalogue(p) {
+            let m = ch.superoperator();
+            let i = Matrix::identity(4);
+            let lhs = (&tensor_permute(&m) - &tensor_permute(&i)).spectral_norm();
+            let rhs = 2.0 * (&m - &i).spectral_norm();
+            assert!(lhs <= rhs + 1e-10, "{name}({p}): {lhs} > {rhs}");
+        }
+    }
+}
+
+#[test]
+fn lemma_2_on_channel_superoperators() {
+    // ‖M_E − U₀⊗V₀‖ < 4‖M_E − I‖.
+    for p in [1e-4, 1e-3, 1e-2] {
+        for (name, ch) in channels::catalogue(p) {
+            let rate = ch.noise_rate();
+            let err = NoiseSvd::decompose(&ch).dominant_error();
+            assert!(err <= 4.0 * rate + 1e-10, "{name}({p}): {err} > 4·{rate}");
+        }
+    }
+}
+
+#[test]
+fn theorem_1_bound_across_levels_and_rates() {
+    let rounds = [QaoaRound {
+        gamma: 0.4,
+        beta: 0.25,
+    }];
+    let c = qaoa_ring(4, &rounds);
+    for p in [1e-3, 5e-3, 1e-2] {
+        let noisy = NoisyCircuit::inject_random(c.clone(), &channels::depolarizing(p), 4, 7);
+        let rate = noisy.max_noise_rate();
+        let exact = density::expectation(
+            &noisy,
+            &statevector::zero_state(4),
+            &statevector::basis_state(4, 0),
+        );
+        let psi = ProductState::all_zeros(4);
+        let v = ProductState::basis(4, 0);
+        for level in 0..=3 {
+            let res = approximate_expectation(&noisy, &psi, &v, &opts(level));
+            let err = (res.value - exact).abs();
+            let bound = bounds::error_bound(4, rate, level);
+            assert!(
+                err <= bound + 1e-12,
+                "p={p}, level={level}: error {err} exceeds bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn error_scales_quadratically_in_noise_rate_at_level_1() {
+    // Level-1 error is O(p²): divide the rate by 10 and the error
+    // should drop by roughly 100 (paper's 32√e·N²p² estimate).
+    let noisy_template = NoisyCircuit::inject_random(ghz(4), &channels::depolarizing(1e-2), 4, 5);
+    let psi = ProductState::all_zeros(4);
+    let v = ProductState::basis(4, 0b1111);
+
+    let mut errors = Vec::new();
+    for p in [1e-2, 1e-3] {
+        let noisy = noisy_template.with_channel(&channels::depolarizing(p));
+        let exact = density::expectation(
+            &noisy,
+            &statevector::zero_state(4),
+            &statevector::basis_state(4, 0b1111),
+        );
+        let res = approximate_expectation(&noisy, &psi, &v, &opts(1));
+        errors.push((res.value - exact).abs());
+    }
+    let ratio = errors[0] / errors[1].max(1e-18);
+    assert!(
+        ratio > 30.0,
+        "level-1 error should scale ~p²; got ratio {ratio} ({errors:?})"
+    );
+}
+
+#[test]
+fn full_level_bound_collapses_to_zero() {
+    for n in [1usize, 5, 20] {
+        assert!(bounds::error_bound(n, 1e-3, n) < 1e-10);
+    }
+}
+
+#[test]
+fn contraction_count_is_linear_at_level_1() {
+    let c10 = bounds::contraction_count(10, 1);
+    let c20 = bounds::contraction_count(20, 1);
+    let c40 = bounds::contraction_count(40, 1);
+    // 2(1+3N): differences are 6·ΔN.
+    assert_eq!(c20 - c10, 60);
+    assert_eq!(c40 - c20, 120);
+}
+
+#[test]
+fn recommended_level_meets_requested_accuracy_empirically() {
+    let rounds = [QaoaRound {
+        gamma: 0.3,
+        beta: 0.2,
+    }];
+    let c = qaoa_ring(4, &rounds);
+    let noisy = NoisyCircuit::inject_random(c, &channels::depolarizing(2e-3), 4, 13);
+    let rate = noisy.max_noise_rate();
+    let target = 1e-6;
+    let level = bounds::level_recommendation(4, rate, target).expect("level exists");
+    let exact = density::expectation(
+        &noisy,
+        &statevector::zero_state(4),
+        &statevector::basis_state(4, 0),
+    );
+    let res = approximate_expectation(
+        &noisy,
+        &ProductState::all_zeros(4),
+        &ProductState::basis(4, 0),
+        &opts(level),
+    );
+    assert!(
+        (res.value - exact).abs() <= target,
+        "recommended level {level} missed target: {}",
+        (res.value - exact).abs()
+    );
+}
