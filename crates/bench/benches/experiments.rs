@@ -233,9 +233,7 @@ fn bench_ablation_split(c: &mut Criterion) {
         b.iter(|| approximate_expectation(black_box(&noisy), &psi, &v, &opts))
     });
     group.bench_function("unsplit", |b| {
-        b.iter(|| {
-            qns_core::approximate_expectation_unsplit(black_box(&noisy), &psi, &v, &opts)
-        })
+        b.iter(|| qns_core::approximate_expectation_unsplit(black_box(&noisy), &psi, &v, &opts))
     });
     group.finish();
 }

@@ -59,12 +59,8 @@ fn main() {
     );
 
     // Fixed fault pattern; channels swapped per sweep point.
-    let pattern = NoisyCircuit::inject_random(
-        circuit,
-        &channels::depolarizing(1e-3),
-        n_noises,
-        0xFEED,
-    );
+    let pattern =
+        NoisyCircuit::inject_random(circuit, &channels::depolarizing(1e-3), n_noises, 0xFEED);
 
     // Realistic fault model: gate time sweep on a fixed-T1/T2 qubit.
     let realistic: Vec<(f64, Kraus)> = [25.0f64, 50.0, 100.0, 150.0, 200.0, 300.0]
@@ -74,7 +70,11 @@ fn main() {
             (ch.noise_rate(), ch)
         })
         .collect();
-    sweep("Realistic fault model (thermal relaxation, swept gate time):", &pattern, realistic);
+    sweep(
+        "Realistic fault model (thermal relaxation, swept gate time):",
+        &pattern,
+        realistic,
+    );
 
     // Depolarizing model: probability sweep.
     let depol: Vec<(f64, Kraus)> = [1e-4f64, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2]
@@ -84,7 +84,11 @@ fn main() {
             (ch.noise_rate(), ch)
         })
         .collect();
-    sweep("Depolarizing noise model (swept probability):", &pattern, depol);
+    sweep(
+        "Depolarizing noise model (swept probability):",
+        &pattern,
+        depol,
+    );
 
     println!(
         "\nShape check vs the paper: error rises monotonically with the \

@@ -47,7 +47,10 @@ fn main() {
     let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
 
     println!("Table II reproduction — accurate methods vs our level-{level} approximation");
-    println!("channel: thermal relaxation (T1=30us, T2=40us, t=25ns), rate = {:.2e}\n", channel.noise_rate());
+    println!(
+        "channel: thermal relaxation (T1=30us, T2=40us, t=25ns), rate = {:.2e}\n",
+        channel.noise_rate()
+    );
 
     let widths = [10usize, 12, 6, 6, 6, 9, 9, 9, 9, 9, 9];
     print_row(
@@ -92,8 +95,7 @@ fn main() {
                 let mm_t = if mm_feasible(n) {
                     let psi_sv = qns_sim::statevector::zero_state(n);
                     let v_sv = qns_sim::statevector::basis_state(n, 0);
-                    let (_, t) =
-                        time_it(|| qns_sim::density::expectation(&noisy, &psi_sv, &v_sv));
+                    let (_, t) = time_it(|| qns_sim::density::expectation(&noisy, &psi_sv, &v_sv));
                     Some(t)
                 } else {
                     None

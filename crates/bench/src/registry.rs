@@ -115,7 +115,11 @@ mod tests {
                     assert_eq!(suffix, n, "{}", b.name);
                 }
                 Family::Supremacy => {
-                    let dims: Vec<usize> = b.name.trim_start_matches("inst_").split('_').next()
+                    let dims: Vec<usize> = b
+                        .name
+                        .trim_start_matches("inst_")
+                        .split('_')
+                        .next()
                         .unwrap()
                         .split('x')
                         .map(|s| s.parse().unwrap())
@@ -141,5 +145,57 @@ mod tests {
         for fam in [Family::HfVqe, Family::Qaoa, Family::Supremacy] {
             assert!(set.iter().any(|b| b.family == fam), "{fam:?} missing");
         }
+    }
+
+    #[test]
+    fn full_set_extends_default_set() {
+        let default = default_set();
+        let full = full_set();
+        assert!(full.len() > default.len());
+        for (d, f) in default.iter().zip(&full) {
+            assert_eq!(d.name, f.name, "--full must keep the default prefix");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = full_set().into_iter().map(|b| b.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn circuits_scale_monotonically_within_family() {
+        // Within each family the registry is ordered small to large, so
+        // qubit counts must be non-decreasing — that ordering is what
+        // makes the tables' scaling columns readable.
+        for fam in [Family::HfVqe, Family::Qaoa, Family::Supremacy] {
+            let qubits: Vec<_> = full_set()
+                .iter()
+                .filter(|b| b.family == fam)
+                .map(|b| b.circuit.n_qubits())
+                .collect();
+            assert!(
+                qubits.windows(2).all(|w| w[0] <= w[1]),
+                "{fam:?}: {qubits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_circuit_is_nontrivial() {
+        for b in full_set() {
+            assert!(b.circuit.n_qubits() >= 2, "{}", b.name);
+            assert!(b.circuit.gate_count() > 0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn family_labels_match_paper() {
+        assert_eq!(Family::HfVqe.label(), "HF-VQE");
+        assert_eq!(Family::Qaoa.label(), "QAOA");
+        assert_eq!(Family::Supremacy.label(), "Supremacy");
     }
 }

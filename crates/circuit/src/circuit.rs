@@ -272,8 +272,7 @@ impl Circuit {
                         }
                         let o0 = out_idx >> 1;
                         let o1 = out_idx & 1;
-                        let row =
-                            (col & !(1 << s0) & !(1 << s1)) | (o0 << s0) | (o1 << s1);
+                        let row = (col & !(1 << s0) & !(1 << s1)) | (o0 << s0) | (o1 << s1);
                         full[(row, col)] += amp;
                     }
                 }

@@ -77,10 +77,9 @@ impl Gate {
     pub fn arity(&self) -> usize {
         use Gate::*;
         match self {
-            H | X | Y | Z | S | Sdg | T | Tdg | SqrtX | SqrtY | SqrtW | Rx(_) | Ry(_)
-            | Rz(_) | Phase(_) | Custom1(_) => 1,
-            CZ | CX | CPhase(_) | CU(_) | ISwap | FSim(_, _) | Givens(_) | ZZ(_)
-            | Custom2(_) => 2,
+            H | X | Y | Z | S | Sdg | T | Tdg | SqrtX | SqrtY | SqrtW | Rx(_) | Ry(_) | Rz(_)
+            | Phase(_) | Custom1(_) => 1,
+            CZ | CX | CPhase(_) | CU(_) | ISwap | FSim(_, _) | Givens(_) | ZZ(_) | Custom2(_) => 2,
         }
     }
 
@@ -98,10 +97,7 @@ impl Gate {
         match self {
             H => Matrix::from_rows(&[vec![cr(inv), cr(inv)], vec![cr(inv), cr(-inv)]]),
             X => Matrix::from_rows(&[vec![cr(0.0), cr(1.0)], vec![cr(1.0), cr(0.0)]]),
-            Y => Matrix::from_rows(&[
-                vec![cr(0.0), c64(0.0, -1.0)],
-                vec![c64(0.0, 1.0), cr(0.0)],
-            ]),
+            Y => Matrix::from_rows(&[vec![cr(0.0), c64(0.0, -1.0)], vec![c64(0.0, 1.0), cr(0.0)]]),
             Z => Matrix::from_rows(&[vec![cr(1.0), cr(0.0)], vec![cr(0.0), cr(-1.0)]]),
             S => Matrix::from_diag(&[cr(1.0), Complex64::I]),
             Sdg => Matrix::from_diag(&[cr(1.0), -Complex64::I]),
@@ -130,10 +126,7 @@ impl Gate {
             }
             Rx(theta) => {
                 let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-                Matrix::from_rows(&[
-                    vec![cr(c), c64(0.0, -s)],
-                    vec![c64(0.0, -s), cr(c)],
-                ])
+                Matrix::from_rows(&[vec![cr(c), c64(0.0, -s)], vec![c64(0.0, -s), cr(c)]])
             }
             Ry(theta) => {
                 let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
@@ -183,12 +176,7 @@ impl Gate {
                     vec![cr(1.0), cr(0.0), cr(0.0), cr(0.0)],
                     vec![cr(0.0), cr(c), c64(0.0, -s), cr(0.0)],
                     vec![cr(0.0), c64(0.0, -s), cr(c), cr(0.0)],
-                    vec![
-                        cr(0.0),
-                        cr(0.0),
-                        cr(0.0),
-                        Complex64::from_polar(1.0, -phi),
-                    ],
+                    vec![cr(0.0), cr(0.0), cr(0.0), Complex64::from_polar(1.0, -phi)],
                 ])
             }
             Givens(theta) => {
@@ -296,7 +284,10 @@ fn sqrt_hermitian_unitary(w: &Matrix) -> Matrix {
 /// Returns `true` when `g` is diagonal in the computational basis.
 pub fn is_diagonal_gate(g: &Gate) -> bool {
     use Gate::*;
-    matches!(g, Z | S | Sdg | T | Tdg | Rz(_) | Phase(_) | CZ | CPhase(_) | ZZ(_))
+    matches!(
+        g,
+        Z | S | Sdg | T | Tdg | Rz(_) | Phase(_) | CZ | CPhase(_) | ZZ(_)
+    )
 }
 
 /// All parameter-free single-qubit gates (useful for randomized tests).
@@ -363,10 +354,7 @@ mod tests {
         assert!(sy.matmul(&sy).approx_eq(&y, 1e-12));
 
         let inv = FRAC_1_SQRT_2;
-        let w = Matrix::from_rows(&[
-            vec![cr(0.0), c64(inv, -inv)],
-            vec![c64(inv, inv), cr(0.0)],
-        ]);
+        let w = Matrix::from_rows(&[vec![cr(0.0), c64(inv, -inv)], vec![c64(inv, inv), cr(0.0)]]);
         let sw = Gate::SqrtW.matrix();
         assert!(sw.matmul(&sw).approx_eq(&w, 1e-12));
     }
@@ -408,7 +396,9 @@ mod tests {
 
     #[test]
     fn cphase_pi_is_cz() {
-        assert!(Gate::CPhase(PI).matrix().approx_eq(&Gate::CZ.matrix(), 1e-12));
+        assert!(Gate::CPhase(PI)
+            .matrix()
+            .approx_eq(&Gate::CZ.matrix(), 1e-12));
     }
 
     #[test]

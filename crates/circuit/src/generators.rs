@@ -159,7 +159,7 @@ fn cz_pattern(rows: usize, cols: usize, pattern: usize) -> Vec<(usize, usize)> {
     let q = |r: usize, c: usize| r * cols + c;
     let mut pairs = Vec::new();
     match pattern % 8 {
-        p @ (0 | 1 | 2 | 3) => {
+        p @ 0..=3 => {
             // Horizontal bonds, split by column and row parity.
             let cpar = p & 1;
             let rpar = (p >> 1) & 1;

@@ -47,10 +47,7 @@ fn compose_to_identity(a: &Operation, b: &Operation) -> bool {
     // Orientation: for two-qubit gates the qubit order may differ.
     let prod = if a.qubits == b.qubits {
         mb.matmul(&ma)
-    } else if a.qubits.len() == 2
-        && a.qubits[0] == b.qubits[1]
-        && a.qubits[1] == b.qubits[0]
-    {
+    } else if a.qubits.len() == 2 && a.qubits[0] == b.qubits[1] && a.qubits[1] == b.qubits[0] {
         mb.matmul(&swap_conjugate(&ma))
     } else {
         return false;
@@ -198,9 +195,8 @@ pub fn drop_identities(circuit: &mut Circuit) -> usize {
 pub fn optimize(circuit: &mut Circuit) -> usize {
     let mut total = 0;
     loop {
-        let round = cancel_inverse_pairs(circuit)
-            + merge_rotations(circuit)
-            + drop_identities(circuit);
+        let round =
+            cancel_inverse_pairs(circuit) + merge_rotations(circuit) + drop_identities(circuit);
         if round == 0 {
             return total;
         }

@@ -31,7 +31,11 @@ impl fmt::Display for CircuitTextError {
         if self.line == 0 {
             write!(f, "circuit text error: {}", self.message)
         } else {
-            write!(f, "circuit text error at line {}: {}", self.line, self.message)
+            write!(
+                f,
+                "circuit text error at line {}: {}",
+                self.line, self.message
+            )
         }
     }
 }
@@ -125,10 +129,12 @@ pub fn from_text(text: &str) -> Result<Circuit, CircuitTextError> {
         let c = circuit.as_mut().expect("header parsed");
         let name = tokens[0];
         let parse_q = |tok: &str| -> Result<usize, CircuitTextError> {
-            tok.parse().map_err(|_| err(lineno, format!("invalid qubit `{tok}`")))
+            tok.parse()
+                .map_err(|_| err(lineno, format!("invalid qubit `{tok}`")))
         };
         let parse_a = |tok: &str| -> Result<f64, CircuitTextError> {
-            tok.parse().map_err(|_| err(lineno, format!("invalid angle `{tok}`")))
+            tok.parse()
+                .map_err(|_| err(lineno, format!("invalid angle `{tok}`")))
         };
         let expect_args = |want: usize| -> Result<(), CircuitTextError> {
             if tokens.len() - 1 == want {
@@ -136,7 +142,10 @@ pub fn from_text(text: &str) -> Result<Circuit, CircuitTextError> {
             } else {
                 Err(err(
                     lineno,
-                    format!("`{name}` expects {want} arguments, got {}", tokens.len() - 1),
+                    format!(
+                        "`{name}` expects {want} arguments, got {}",
+                        tokens.len() - 1
+                    ),
                 ))
             }
         };

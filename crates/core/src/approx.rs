@@ -172,7 +172,11 @@ pub fn approximate_expectation(
     opts: &ApproxOptions,
 ) -> ApproxResult {
     let circuit = noisy.circuit();
-    assert_eq!(psi.n_qubits(), circuit.n_qubits(), "input state size mismatch");
+    assert_eq!(
+        psi.n_qubits(),
+        circuit.n_qubits(),
+        "input state size mismatch"
+    );
     assert_eq!(v.n_qubits(), circuit.n_qubits(), "test state size mismatch");
     let sites = collect_sites(noisy);
     let n = sites.len();
@@ -271,8 +275,7 @@ fn evaluate_patterns_parallel(
                         for (a, &p) in assignment.iter_mut().zip(pat.iter()) {
                             *a = p as usize;
                         }
-                        acc +=
-                            evaluate_pattern(circuit, psi, v, sites, &assignment, opts.strategy);
+                        acc += evaluate_pattern(circuit, psi, v, sites, &assignment, opts.strategy);
                     }
                     acc
                 })
@@ -308,7 +311,11 @@ pub fn approximate_expectation_unsplit(
     use std::collections::HashMap;
 
     let circuit = noisy.circuit();
-    assert_eq!(psi.n_qubits(), circuit.n_qubits(), "input state size mismatch");
+    assert_eq!(
+        psi.n_qubits(),
+        circuit.n_qubits(),
+        "input state size mismatch"
+    );
     assert_eq!(v.n_qubits(), circuit.n_qubits(), "test state size mismatch");
     let sites = collect_sites(noisy);
     let n = sites.len();
@@ -446,7 +453,11 @@ pub fn approximate_matrix_element(
     opts: &ApproxOptions,
 ) -> Complex64 {
     let circuit = noisy.circuit();
-    assert_eq!(psi.n_qubits(), circuit.n_qubits(), "input state size mismatch");
+    assert_eq!(
+        psi.n_qubits(),
+        circuit.n_qubits(),
+        "input state size mismatch"
+    );
     assert_eq!(x.n_qubits(), circuit.n_qubits(), "bra state size mismatch");
     assert_eq!(y.n_qubits(), circuit.n_qubits(), "ket state size mismatch");
     let sites = collect_sites(noisy);
@@ -466,15 +477,8 @@ pub fn approximate_matrix_element(
             for (a, &p) in assignment.iter_mut().zip(pat.iter()) {
                 *a = p as usize;
             }
-            total += evaluate_pattern_element(
-                circuit,
-                psi,
-                x,
-                y,
-                &sites,
-                &assignment,
-                opts.strategy,
-            );
+            total +=
+                evaluate_pattern_element(circuit, psi, x, y, &sites, &assignment, opts.strategy);
         }
     }
     total
@@ -576,9 +580,8 @@ pub fn append_ideal_inverse(noisy: &NoisyCircuit) -> NoisyCircuit {
     let mut extended = noisy.circuit().clone();
     let dag = noisy.circuit().dagger();
     extended.extend(&dag);
-    let mut events = noisy.events().to_vec();
     // positions are unchanged: noise stays inside the original prefix.
-    let mut rebuilt = NoisyCircuit::new(extended, events.drain(..).collect());
+    let mut rebuilt = NoisyCircuit::new(extended, noisy.events().to_vec());
     for e in noisy.initial_events() {
         rebuilt.push_initial(e.qubit, e.kraus.clone());
     }
@@ -640,12 +643,7 @@ mod tests {
 
     #[test]
     fn error_decreases_with_level() {
-        let noisy = NoisyCircuit::inject_random(
-            ghz(4),
-            &channels::depolarizing(5e-3),
-            4,
-            3,
-        );
+        let noisy = NoisyCircuit::inject_random(ghz(4), &channels::depolarizing(5e-3), 4, 3);
         let psi = ProductState::all_zeros(4);
         let v = ProductState::basis(4, 0b1111);
         let mm = exact(&noisy, &psi, &v);
@@ -671,8 +669,7 @@ mod tests {
             beta: 0.3,
         }];
         let c = qaoa_ring(4, &rounds);
-        let noisy =
-            NoisyCircuit::inject_random(c, &channels::depolarizing(1e-2), 4, 17);
+        let noisy = NoisyCircuit::inject_random(c, &channels::depolarizing(1e-2), 4, 17);
         let psi = ProductState::all_zeros(4);
         let v = ProductState::all_zeros(4);
         let mm = exact(&noisy, &psi, &v);
@@ -683,12 +680,7 @@ mod tests {
 
     #[test]
     fn theorem_1_bound_holds_empirically() {
-        let noisy = NoisyCircuit::inject_random(
-            ghz(3),
-            &channels::depolarizing(2e-3),
-            3,
-            5,
-        );
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(2e-3), 3, 5);
         let p = noisy.max_noise_rate();
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0b111);
@@ -706,12 +698,7 @@ mod tests {
 
     #[test]
     fn contraction_count_matches_formula() {
-        let noisy = NoisyCircuit::inject_random(
-            ghz(3),
-            &channels::depolarizing(1e-3),
-            4,
-            2,
-        );
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(1e-3), 4, 2);
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0);
         for l in 0..=2 {
@@ -726,12 +713,7 @@ mod tests {
 
     #[test]
     fn per_level_contributions_sum_to_value() {
-        let noisy = NoisyCircuit::inject_random(
-            ghz(3),
-            &channels::amplitude_damping(0.05),
-            3,
-            8,
-        );
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::amplitude_damping(0.05), 3, 8);
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0b111);
         let res = approximate_expectation(&noisy, &psi, &v, &opts(2));
@@ -787,12 +769,7 @@ mod tests {
 
     #[test]
     fn matrix_element_matches_density_sim() {
-        let noisy = NoisyCircuit::inject_random(
-            ghz(3),
-            &channels::amplitude_damping(0.08),
-            3,
-            53,
-        );
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::amplitude_damping(0.08), 3, 53);
         let psi = ProductState::all_zeros(3);
         let rho = density::run(&noisy, &psi.to_statevector());
         for (xb, yb) in [(0usize, 0usize), (0, 7), (7, 0), (2, 5), (7, 7)] {
@@ -810,12 +787,7 @@ mod tests {
 
     #[test]
     fn matrix_element_diagonal_equals_expectation() {
-        let noisy = NoisyCircuit::inject_random(
-            ghz(3),
-            &channels::depolarizing(5e-3),
-            2,
-            59,
-        );
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(5e-3), 2, 59);
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0b111);
         let elem = approximate_matrix_element(&noisy, &psi, &v, &v, &opts(1));
@@ -846,12 +818,7 @@ mod tests {
 
     #[test]
     fn auto_simulation_meets_target() {
-        let noisy = NoisyCircuit::inject_random(
-            ghz(3),
-            &channels::depolarizing(1e-3),
-            3,
-            41,
-        );
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(1e-3), 3, 41);
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0b111);
         let target = 1e-6;
@@ -895,12 +862,8 @@ mod tests {
     fn coherent_noise_handled_by_approximation() {
         // Unitary (coherent) noise channels also decompose and
         // approximate; full level is exact.
-        let noisy = NoisyCircuit::inject_random(
-            ghz(3),
-            &channels::coherent_overrotation('x', 0.05),
-            2,
-            47,
-        );
+        let noisy =
+            NoisyCircuit::inject_random(ghz(3), &channels::coherent_overrotation('x', 0.05), 2, 47);
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0b111);
         let res = approximate_expectation(&noisy, &psi, &v, &opts(2));
@@ -949,7 +912,8 @@ mod tests {
         assert_eq!(enumerate_patterns(5, 0).len(), 1);
         assert_eq!(enumerate_patterns(5, 1).len(), 15); // C(5,1)·3
         assert_eq!(enumerate_patterns(5, 2).len(), 90); // C(5,2)·9
-        // every pattern has exactly u nonzero entries with values 1..=3
+
+        // Every pattern has exactly u nonzero entries with values 1..=3.
         for pat in enumerate_patterns(4, 2) {
             assert_eq!(pat.iter().filter(|&&x| x > 0).count(), 2);
             assert!(pat.iter().all(|&x| x <= 3));
@@ -981,12 +945,7 @@ mod tests {
 
     #[test]
     fn unsplit_matches_split_with_initial_noise() {
-        let mut noisy = NoisyCircuit::inject_random(
-            ghz(3),
-            &channels::depolarizing(1e-2),
-            2,
-            23,
-        );
+        let mut noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(1e-2), 2, 23);
         noisy.push_initial(1, channels::amplitude_damping(0.05));
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0);
@@ -1003,12 +962,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "max_terms")]
     fn guard_trips_on_huge_level() {
-        let noisy = NoisyCircuit::inject_random(
-            ghz(3),
-            &channels::depolarizing(1e-3),
-            30,
-            1,
-        );
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(1e-3), 30, 1);
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0);
         let tight = ApproxOptions {

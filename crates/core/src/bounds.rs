@@ -32,8 +32,7 @@ pub fn error_bound(n_noises: usize, p: f64, level: usize) -> f64 {
     let total = (1.0 + 8.0 * p).powi(n as i32);
     let mut covered = 0.0;
     for i in 0..=l {
-        covered += binomial(n, i) * (4.0 * p).powi(i as i32)
-            * (1.0 + 4.0 * p).powi((n - i) as i32);
+        covered += binomial(n, i) * (4.0 * p).powi(i as i32) * (1.0 + 4.0 * p).powi((n - i) as i32);
     }
     (total - covered).max(0.0)
 }
@@ -65,12 +64,7 @@ pub fn contraction_count(n_noises: usize, level: usize) -> u128 {
 /// `None` if even the exact level `N` misses it (only possible for
 /// `target_error ≤ 0`).
 pub fn level_recommendation(n_noises: usize, p: f64, target_error: f64) -> Option<usize> {
-    for l in 0..=n_noises {
-        if error_bound(n_noises, p, l) <= target_error {
-            return Some(l);
-        }
-    }
-    None
+    (0..=n_noises).find(|&l| error_bound(n_noises, p, l) <= target_error)
 }
 
 /// Samples the quantum trajectories method needs to reach the same

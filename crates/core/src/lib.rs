@@ -47,8 +47,8 @@ pub mod permutation;
 
 pub use approx::{
     append_ideal_inverse, approximate_expectation, approximate_expectation_unsplit,
-    approximate_matrix_element, reconstruct_density, simulate_auto, ApproxOptions,
-    ApproxResult, AutoReport,
+    approximate_matrix_element, reconstruct_density, simulate_auto, ApproxOptions, ApproxResult,
+    AutoReport,
 };
 pub use bounds::{contraction_count, error_bound, level_recommendation};
 pub use noise_svd::NoiseSvd;

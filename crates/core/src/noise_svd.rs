@@ -137,10 +137,7 @@ mod tests {
 
     fn channels_under_test() -> Vec<(&'static str, Kraus)> {
         let mut v = channels::catalogue(1e-3);
-        v.push((
-            "thermal",
-            channels::thermal_relaxation(30.0, 40.0, 25.0),
-        ));
+        v.push(("thermal", channels::thermal_relaxation(30.0, 40.0, 25.0)));
         v
     }
 

@@ -264,7 +264,11 @@ impl Matrix {
 
     /// Spectral norm (largest singular value), computed via [`crate::svd`].
     pub fn spectral_norm(&self) -> f64 {
-        crate::svd(self).singular_values.first().copied().unwrap_or(0.0)
+        crate::svd(self)
+            .singular_values
+            .first()
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// `true` if `‖A − A†‖_max ≤ tol`.
@@ -327,11 +331,20 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -339,11 +352,20 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }

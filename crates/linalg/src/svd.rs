@@ -54,7 +54,10 @@ impl Svd {
     ///
     /// Panics if `i` is out of range.
     pub fn rank_one_term(&self, i: usize) -> Matrix {
-        assert!(i < self.singular_values.len(), "singular index out of range");
+        assert!(
+            i < self.singular_values.len(),
+            "singular index out of range"
+        );
         let m = self.u.rows();
         let n = self.v.rows();
         let mut out = Matrix::zeros(m, n);
@@ -125,8 +128,9 @@ pub fn svd(a: &Matrix) -> Svd {
                     continue;
                 }
                 off = off.max(g / denom);
-                // Phase that makes the inner product real non-negative.
-                let w = gamma / g; // e^{i·arg(gamma)}
+                // Phase that makes the inner product real non-negative:
+                // w = e^{i·arg(gamma)}.
+                let w = gamma / g;
                 // Classic Jacobi angle zeroing the off-diagonal of
                 // [[alpha, g], [g, beta]].
                 let zeta = (beta - alpha) / (2.0 * g);

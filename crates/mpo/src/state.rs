@@ -70,11 +70,7 @@ impl MpoState {
 
     /// The largest bond dimension currently in the train.
     pub fn current_bond(&self) -> usize {
-        self.sites
-            .iter()
-            .map(|s| s.shape()[3])
-            .max()
-            .unwrap_or(1)
+        self.sites.iter().map(|s| s.shape()[3]).max().unwrap_or(1)
     }
 
     /// Applies a 4×4 superoperator `m` (acting on the vectorized
@@ -114,7 +110,7 @@ impl MpoState {
         let b = self.sites[q + 1].clone();
         let (dl, dr) = (a.shape()[0], b.shape()[3]);
         // Θ[l, i1, j1, i2, j2, r]
-        let theta = a.contract(&b, &[3], &[0]); // [l,i1,j1,i2,j2,r]
+        let theta = a.contract(&b, &[3], &[0]);
         // Superop tensor [(i1,j1,i2,j2), (i1',j1',i2',j2')] reshaped to 8 axes.
         let mt = Tensor::from_matrix(m).reshape(vec![2, 2, 2, 2, 2, 2, 2, 2]);
         // Contract primed (input) legs with Θ's physical legs.
@@ -132,10 +128,7 @@ impl MpoState {
             .max(1);
         let keep = full_rank.min(self.max_bond);
         if keep < full_rank {
-            let discarded: f64 = svd.singular_values[keep..]
-                .iter()
-                .map(|s| s * s)
-                .sum();
+            let discarded: f64 = svd.singular_values[keep..].iter().map(|s| s * s).sum();
             self.truncation_error += discarded.sqrt();
         }
         // A_q = U[:, :keep]; A_{q+1} = Σ V† rows.
@@ -499,12 +492,7 @@ mod tests {
 
     #[test]
     fn trace_preserved_through_noisy_run() {
-        let noisy = NoisyCircuit::inject_random(
-            ghz(5),
-            &channels::amplitude_damping(0.1),
-            4,
-            11,
-        );
+        let noisy = NoisyCircuit::inject_random(ghz(5), &channels::amplitude_damping(0.1), 4, 11);
         let mut rho = MpoState::all_zeros(5, 32);
         rho.run(&noisy);
         assert!((rho.trace().re - 1.0).abs() < 1e-9);

@@ -96,10 +96,7 @@ pub fn amplitude_damping(gamma: f64) -> Kraus {
         vec![cr(1.0), cr(0.0)],
         vec![cr(0.0), cr((1.0 - gamma).sqrt())],
     ]);
-    let e1 = Matrix::from_rows(&[
-        vec![cr(0.0), cr(gamma.sqrt())],
-        vec![cr(0.0), cr(0.0)],
-    ]);
+    let e1 = Matrix::from_rows(&[vec![cr(0.0), cr(gamma.sqrt())], vec![cr(0.0), cr(0.0)]]);
     Kraus::new(vec![e0, e1])
 }
 
@@ -115,10 +112,7 @@ pub fn phase_damping(lambda: f64) -> Kraus {
         vec![cr(1.0), cr(0.0)],
         vec![cr(0.0), cr((1.0 - lambda).sqrt())],
     ]);
-    let e1 = Matrix::from_rows(&[
-        vec![cr(0.0), cr(0.0)],
-        vec![cr(0.0), cr(lambda.sqrt())],
-    ]);
+    let e1 = Matrix::from_rows(&[vec![cr(0.0), cr(0.0)], vec![cr(0.0), cr(lambda.sqrt())]]);
     Kraus::new(vec![e0, e1])
 }
 
@@ -145,7 +139,10 @@ pub fn phase_damping(lambda: f64) -> Kraus {
 /// assert!(ch.noise_rate() < 5e-3);
 /// ```
 pub fn thermal_relaxation(t1_us: f64, t2_us: f64, t_gate_ns: f64) -> Kraus {
-    assert!(t1_us > 0.0 && t2_us > 0.0 && t_gate_ns > 0.0, "times must be positive");
+    assert!(
+        t1_us > 0.0 && t2_us > 0.0 && t_gate_ns > 0.0,
+        "times must be positive"
+    );
     assert!(
         t2_us <= 2.0 * t1_us + 1e-12,
         "physicality requires T2 ≤ 2·T1"
@@ -156,7 +153,9 @@ pub fn thermal_relaxation(t1_us: f64, t2_us: f64, t_gate_ns: f64) -> Kraus {
     // Remaining pure dephasing must contribute e^{−t/T2 + t/(2T1)}.
     let extra = (-t / t2_us + t / (2.0 * t1_us)).exp();
     let lambda = (1.0 - extra * extra).clamp(0.0, 1.0);
-    amplitude_damping(gamma).then(&phase_damping(lambda)).prune(1e-15)
+    amplitude_damping(gamma)
+        .then(&phase_damping(lambda))
+        .prune(1e-15)
 }
 
 /// Coherent over-rotation noise: the unitary channel `ρ ↦ UρU†` with

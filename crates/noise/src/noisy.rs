@@ -107,7 +107,10 @@ impl NoisyCircuit {
     /// Panics if the circuit has no gates or `channel` is not
     /// single-qubit.
     pub fn inject_random(circuit: Circuit, channel: &Kraus, count: usize, seed: u64) -> Self {
-        assert!(circuit.gate_count() > 0, "cannot inject into an empty circuit");
+        assert!(
+            circuit.gate_count() > 0,
+            "cannot inject into an empty circuit"
+        );
         assert_eq!(channel.dim(), 2, "noise channels must be single-qubit");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut events = Vec::with_capacity(count);
@@ -183,9 +186,8 @@ impl NoisyCircuit {
     /// The interleaved execution order: initial noise, then each gate
     /// followed by its attached noise events.
     pub fn elements(&self) -> Vec<Element<'_>> {
-        let mut out = Vec::with_capacity(
-            self.initial.len() + self.circuit.gate_count() + self.events.len(),
-        );
+        let mut out =
+            Vec::with_capacity(self.initial.len() + self.circuit.gate_count() + self.events.len());
         for e in &self.initial {
             out.push(Element::Noise(e));
         }

@@ -192,7 +192,11 @@ impl DensityMatrix {
 /// Panics if `psi.len() != 2^n`.
 pub fn run(noisy: &NoisyCircuit, psi: &[Complex64]) -> DensityMatrix {
     let mut rho = DensityMatrix::from_pure(psi);
-    assert_eq!(rho.n_qubits(), noisy.n_qubits(), "state/circuit size mismatch");
+    assert_eq!(
+        rho.n_qubits(),
+        noisy.n_qubits(),
+        "state/circuit size mismatch"
+    );
     for el in noisy.elements() {
         match el {
             Element::Gate(op) => rho.apply_operation(op),
@@ -229,8 +233,7 @@ mod tests {
 
     #[test]
     fn trace_preserved_under_noise() {
-        let noisy =
-            NoisyCircuit::inject_random(ghz(4), &channels::amplitude_damping(0.1), 5, 3);
+        let noisy = NoisyCircuit::inject_random(ghz(4), &channels::amplitude_damping(0.1), 5, 3);
         let rho = run(&noisy, &zero_state(4));
         assert!((rho.trace() - 1.0).abs() < 1e-10);
         assert!(rho.is_valid_state(1e-9));
@@ -278,8 +281,7 @@ mod tests {
 
     #[test]
     fn matrix_element_hermitian_symmetry() {
-        let noisy =
-            NoisyCircuit::inject_random(ghz(3), &channels::phase_damping(0.2), 2, 7);
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::phase_damping(0.2), 2, 7);
         let rho = run(&noisy, &zero_state(3));
         let x = basis_state(3, 2);
         let y = basis_state(3, 5);
@@ -296,12 +298,8 @@ mod tests {
         }];
         let c = qaoa_ring(4, &rounds);
         let ideal = sv_run(&c, &zero_state(4));
-        let noisy = NoisyCircuit::inject_random(
-            c,
-            &channels::thermal_relaxation(30.0, 40.0, 25.0),
-            3,
-            11,
-        );
+        let noisy =
+            NoisyCircuit::inject_random(c, &channels::thermal_relaxation(30.0, 40.0, 25.0), 3, 11);
         let f = expectation(&noisy, &zero_state(4), &ideal);
         assert!(f > 0.99 && f <= 1.0 + 1e-9, "fidelity {f}");
     }
@@ -311,9 +309,7 @@ mod tests {
         let c = inst_grid(2, 2, 6, 2);
         let noisy = NoisyCircuit::inject_random(c, &channels::depolarizing(0.01), 2, 4);
         let rho = run(&noisy, &zero_state(4));
-        let total: f64 = (0..16)
-            .map(|i| rho.expectation(&basis_state(4, i)))
-            .sum();
+        let total: f64 = (0..16).map(|i| rho.expectation(&basis_state(4, i))).sum();
         assert!((total - 1.0).abs() < 1e-10);
     }
 

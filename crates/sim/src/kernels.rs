@@ -46,13 +46,7 @@ pub fn apply_single(state: &mut [Complex64], n_bits: usize, bit: usize, m: &Matr
 ///
 /// Panics if `m` is not 4×4, the bits coincide or exceed `n_bits`, or
 /// the buffer length is not `2^n_bits`.
-pub fn apply_double(
-    state: &mut [Complex64],
-    n_bits: usize,
-    bit0: usize,
-    bit1: usize,
-    m: &Matrix,
-) {
+pub fn apply_double(state: &mut [Complex64], n_bits: usize, bit0: usize, bit1: usize, m: &Matrix) {
     assert_eq!((m.rows(), m.cols()), (4, 4), "kernel expects a 4×4 matrix");
     assert!(bit0 < n_bits && bit1 < n_bits, "bit out of range");
     assert_ne!(bit0, bit1, "bits must differ");
@@ -92,9 +86,7 @@ mod tests {
 
     fn random_state(rng: &mut StdRng, n: usize) -> Vec<Complex64> {
         let v: Vec<Complex64> = (0..1usize << n)
-            .map(|_| {
-                qns_linalg::c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0))
-            })
+            .map(|_| qns_linalg::c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
             .collect();
         qns_linalg::normalize(&v)
     }
@@ -143,10 +135,7 @@ mod tests {
     #[test]
     fn non_unitary_kernel_shrinks_norm() {
         // Amplitude-damping Kraus E1 has operator norm < 1.
-        let e1 = Matrix::from_rows(&[
-            vec![cr(0.0), cr(0.5)],
-            vec![cr(0.0), cr(0.0)],
-        ]);
+        let e1 = Matrix::from_rows(&[vec![cr(0.0), cr(0.5)], vec![cr(0.0), cr(0.0)]]);
         let mut state = vec![cr(0.0), cr(1.0)]; // |1⟩
         apply_single(&mut state, 1, 0, &e1);
         assert!((norm_sqr(&state) - 0.25).abs() < 1e-12);

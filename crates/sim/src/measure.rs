@@ -71,7 +71,10 @@ pub fn partial_trace(rho: &DensityMatrix, keep: &[usize]) -> Matrix {
     for w in keep.windows(2) {
         assert!(w[0] < w[1], "keep list must be strictly ascending");
     }
-    assert!(*keep.last().expect("non-empty") < n, "kept qubit out of range");
+    assert!(
+        *keep.last().expect("non-empty") < n,
+        "kept qubit out of range"
+    );
 
     let full = rho.to_matrix();
     let k = keep.len();

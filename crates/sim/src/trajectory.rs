@@ -188,10 +188,14 @@ pub fn estimate(
                 Element::Noise(e) => {
                     match &mixtures[event_idx] {
                         Some(mix) => sample_from_mixture(&mut state, n, e.qubit, mix, &mut rng),
-                        None => {
-                            sample_noise(&mut state, n, e.qubit, &e.kraus,
-                                SamplingStrategy::General, &mut rng)
-                        }
+                        None => sample_noise(
+                            &mut state,
+                            n,
+                            e.qubit,
+                            &e.kraus,
+                            SamplingStrategy::General,
+                            &mut rng,
+                        ),
                     }
                     event_idx += 1;
                 }
@@ -329,8 +333,7 @@ mod tests {
 
     #[test]
     fn general_sampling_handles_amplitude_damping() {
-        let noisy =
-            NoisyCircuit::inject_random(ghz(3), &channels::amplitude_damping(0.15), 3, 9);
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::amplitude_damping(0.15), 3, 9);
         let psi = zero_state(3);
         let v = ghz_state(3);
         let exact = density::expectation(&noisy, &psi, &v);

@@ -409,10 +409,7 @@ impl DdManager {
             return if w.abs() <= ZERO_TOL {
                 Edge::zero()
             } else {
-                Edge {
-                    w,
-                    node: TERMINAL,
-                }
+                Edge { w, node: TERMINAL }
             };
         }
         assert!(
@@ -700,10 +697,7 @@ mod tests {
     #[test]
     fn product_vector_matches_kron() {
         let mut man = DdManager::new(2);
-        let f = [
-            [cr(0.6), cr(0.8)],
-            [Complex64::I * 0.5, cr(-0.5)],
-        ];
+        let f = [[cr(0.6), cr(0.8)], [Complex64::I * 0.5, cr(-0.5)]];
         let dd = man.product_vector(&f);
         let dense = qns_linalg::kron_vec(&f[0], &f[1]);
         for (bits, expect) in dense.iter().enumerate() {
@@ -743,10 +737,7 @@ mod tests {
     #[test]
     fn non_unitary_kraus_diagram() {
         let mut man = DdManager::new(2);
-        let e1 = Matrix::from_rows(&[
-            vec![cr(0.0), cr(0.5)],
-            vec![cr(0.0), cr(0.0)],
-        ]);
+        let e1 = Matrix::from_rows(&[vec![cr(0.0), cr(0.5)], vec![cr(0.0), cr(0.0)]]);
         let dd = man.single_qubit_matrix(1, &e1);
         let expect = Matrix::identity(2).kron(&e1);
         assert!(man.to_matrix(dd).approx_eq(&expect, 1e-12));

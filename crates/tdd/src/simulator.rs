@@ -61,11 +61,7 @@ pub fn run(noisy: &NoisyCircuit, psi: &[[Complex64; 2]]) -> (DdManager, Edge) {
 /// # Panics
 ///
 /// Panics if the factor counts differ from the circuit's qubit count.
-pub fn expectation(
-    noisy: &NoisyCircuit,
-    psi: &[[Complex64; 2]],
-    v: &[[Complex64; 2]],
-) -> f64 {
+pub fn expectation(noisy: &NoisyCircuit, psi: &[[Complex64; 2]], v: &[[Complex64; 2]]) -> f64 {
     let n = noisy.n_qubits();
     assert_eq!(v.len(), n, "one test factor per qubit");
     let (mut man, rho) = run(noisy, psi);
@@ -169,8 +165,7 @@ mod tests {
 
     #[test]
     fn trace_preserved_on_diagram() {
-        let noisy =
-            NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(0.2), 4, 5);
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(0.2), 4, 5);
         let (man, rho) = run(&noisy, &zeros(3));
         let m = man.to_matrix(rho);
         assert!((m.trace().re - 1.0).abs() < 1e-10);
@@ -182,12 +177,7 @@ mod tests {
         // Structured circuit + single noise: the diagram stays small
         // (the DD success regime the paper's Table II reflects for hf).
         let n = 8;
-        let noisy = NoisyCircuit::inject_random(
-            ghz(n),
-            &channels::phase_flip(0.01),
-            1,
-            2,
-        );
+        let noisy = NoisyCircuit::inject_random(ghz(n), &channels::phase_flip(0.01), 1, 2);
         let (man, rho) = run(&noisy, &zeros(n));
         assert!(
             man.node_count(rho) < 8 * n,

@@ -357,10 +357,7 @@ mod tests {
     #[test]
     fn row_major_layout() {
         // shape [2,2]: data index = i*2 + j.
-        let t = Tensor::from_vec(
-            vec![cr(0.0), cr(1.0), cr(2.0), cr(3.0)],
-            vec![2, 2],
-        );
+        let t = Tensor::from_vec(vec![cr(0.0), cr(1.0), cr(2.0), cr(3.0)], vec![2, 2]);
         assert_eq!(t.get(&[0, 1]), cr(1.0));
         assert_eq!(t.get(&[1, 0]), cr(2.0));
     }

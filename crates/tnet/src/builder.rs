@@ -64,7 +64,10 @@ impl ProductState {
     ///
     /// Panics if `factors` is empty.
     pub fn from_factors(factors: Vec<[Complex64; 2]>) -> Self {
-        assert!(!factors.is_empty(), "product state needs at least one qubit");
+        assert!(
+            !factors.is_empty(),
+            "product state needs at least one qubit"
+        );
         ProductState { factors }
     }
 
@@ -491,16 +494,11 @@ mod tests {
             .0
             .scalar_value()
             .re;
-        let clean = double_network(
-            &NoisyCircuit::noiseless(c),
-            &psi,
-            &v,
-            &HashMap::new(),
-        )
-        .contract_all(OrderStrategy::Greedy)
-        .0
-        .scalar_value()
-        .re;
+        let clean = double_network(&NoisyCircuit::noiseless(c), &psi, &v, &HashMap::new())
+            .contract_all(OrderStrategy::Greedy)
+            .0
+            .scalar_value()
+            .re;
         assert!((val - clean).abs() < 1e-12);
     }
 
@@ -555,7 +553,11 @@ mod tests {
     fn expand_single(n: usize, q: usize, m: &Matrix) -> Matrix {
         let mut full = Matrix::identity(1);
         for i in 0..n {
-            let f = if i == q { m.clone() } else { Matrix::identity(2) };
+            let f = if i == q {
+                m.clone()
+            } else {
+                Matrix::identity(2)
+            };
             full = full.kron(&f);
         }
         full

@@ -143,11 +143,7 @@ impl TensorNetwork {
             .map(|l| lb.iter().position(|x| x == l).expect("shared in b"))
             .collect();
         let result = ta.contract(&tb, &axes_a, &axes_b);
-        let mut legs: Vec<LegId> = la
-            .iter()
-            .copied()
-            .filter(|l| !shared.contains(l))
-            .collect();
+        let mut legs: Vec<LegId> = la.iter().copied().filter(|l| !shared.contains(l)).collect();
         legs.extend(lb.iter().copied().filter(|l| !shared.contains(l)));
 
         stats.contractions += 1;
@@ -292,10 +288,7 @@ mod tests {
         let a = rand_tensor(&mut rng, vec![2, 3]);
         let b = rand_tensor(&mut rng, vec![3, 4]);
         let c = rand_tensor(&mut rng, vec![4, 2]);
-        let expect = a
-            .to_matrix()
-            .matmul(&b.to_matrix())
-            .matmul(&c.to_matrix());
+        let expect = a.to_matrix().matmul(&b.to_matrix()).matmul(&c.to_matrix());
 
         for strategy in [OrderStrategy::Greedy, OrderStrategy::Sequential] {
             let mut net = TensorNetwork::new();

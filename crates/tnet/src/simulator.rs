@@ -1,7 +1,9 @@
 //! TN-based simulators: the exact accurate method and a
 //! tensor-network quantum-trajectories variant.
 
-use crate::builder::{amplitude_network, amplitude_network_with, double_network, Insertion, ProductState};
+use crate::builder::{
+    amplitude_network, amplitude_network_with, double_network, Insertion, ProductState,
+};
 use crate::network::{ContractionStats, OrderStrategy};
 use qns_circuit::Circuit;
 use qns_linalg::Complex64;
@@ -204,8 +206,7 @@ mod tests {
 
     #[test]
     fn tn_trajectories_unbiased_for_general_channel() {
-        let noisy =
-            NoisyCircuit::inject_random(ghz(3), &channels::amplitude_damping(0.2), 2, 11);
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::amplitude_damping(0.2), 2, 11);
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0b000);
         let exact = expectation(&noisy, &psi, &v, OrderStrategy::Greedy);

@@ -46,7 +46,10 @@ fn main() {
     println!("exact ⟨0…0|ρ|0…0⟩ = {exact:.9}\n");
 
     println!("MPO (bond-truncation family):");
-    println!("{:>6} {:>12} {:>13} {:>10}", "χ", "error", "trunc.err", "time");
+    println!(
+        "{:>6} {:>12} {:>13} {:>10}",
+        "χ", "error", "trunc.err", "time"
+    );
     for chi in [1usize, 2, 4, 8, 16, 32] {
         let t0 = Instant::now();
         let mut rho = MpoState::all_zeros(n, chi);
@@ -63,7 +66,10 @@ fn main() {
     }
 
     println!("\nSVD approximation (the paper's level family):");
-    println!("{:>6} {:>12} {:>13} {:>10}", "level", "error", "contractions", "time");
+    println!(
+        "{:>6} {:>12} {:>13} {:>10}",
+        "level", "error", "contractions", "time"
+    );
     for level in 0..=3 {
         let t0 = Instant::now();
         let res = approximate_expectation(

@@ -43,7 +43,12 @@ fn main() {
         "#noise", "exact F", "level-1 A(1)", "error", "bound", "time"
     );
     for n_noises in [1usize, 2, 4, 6, 8, 12] {
-        let noisy = NoisyCircuit::inject_random(circuit.clone(), &channel, n_noises, 1000 + n_noises as u64);
+        let noisy = NoisyCircuit::inject_random(
+            circuit.clone(),
+            &channel,
+            n_noises,
+            1000 + n_noises as u64,
+        );
 
         let exact = density::expectation(&noisy, &statevector::zero_state(n), &ideal);
 

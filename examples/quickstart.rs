@@ -24,7 +24,10 @@ fn main() {
 
     // A 25 ns gate on a T1 = 30 µs / T2 = 40 µs transmon.
     let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
-    println!("noise channel rate ‖M_E − I‖₂ = {:.3e}", channel.noise_rate());
+    println!(
+        "noise channel rate ‖M_E − I‖₂ = {:.3e}",
+        channel.noise_rate()
+    );
 
     let noisy = NoisyCircuit::inject_random(ghz(n), &channel, n_noises, 42);
     println!("{noisy}");

@@ -29,8 +29,7 @@ fn main() {
     );
     for n in [4usize, 6, 8] {
         let circuit = qaoa_ring(n, &rounds);
-        let noisy =
-            NoisyCircuit::inject_random(circuit, &channels::depolarizing(p), n_noises, 77);
+        let noisy = NoisyCircuit::inject_random(circuit, &channels::depolarizing(p), n_noises, 77);
         let psi = ProductState::all_zeros(n);
         let v = ProductState::all_zeros(n);
 
@@ -77,7 +76,11 @@ fn main() {
             samples,
             ours_time,
             traj_time,
-            if ours_time < traj_time { "ours" } else { "traj" },
+            if ours_time < traj_time {
+                "ours"
+            } else {
+                "traj"
+            },
         );
     }
 

@@ -34,7 +34,10 @@ fn check_all_engines(noisy: &NoisyCircuit, v_bits: usize, label: &str) {
     let psi = ProductState::all_zeros(n);
     let v = ProductState::basis(n, v_bits);
     let tn_val = tn::expectation(noisy, &psi, &v, OrderStrategy::Greedy);
-    assert!((mm - tn_val).abs() < 1e-9, "{label}: MM {mm} vs TN {tn_val}");
+    assert!(
+        (mm - tn_val).abs() < 1e-9,
+        "{label}: MM {mm} vs TN {tn_val}"
+    );
 
     let exact_approx = approximate_expectation(
         noisy,

@@ -20,8 +20,12 @@ fn fidelity_study_workflow() {
     // The Table IV workflow: fidelity of the noisy circuit against its
     // ideal output, estimated at increasing levels.
     let c = qaoa_ring(4, &round());
-    let noisy =
-        NoisyCircuit::inject_random(c.clone(), &channels::thermal_relaxation(30.0, 40.0, 80.0), 4, 7);
+    let noisy = NoisyCircuit::inject_random(
+        c.clone(),
+        &channels::thermal_relaxation(30.0, 40.0, 80.0),
+        4,
+        7,
+    );
 
     let ideal = statevector::run(&c, &statevector::zero_state(4));
     let exact = density::expectation(&noisy, &statevector::zero_state(4), &ideal);
@@ -94,11 +98,8 @@ fn sample_budget_planning_workflow() {
     let n_noises = 12;
     let p = 1e-4;
     let ours = bounds::our_samples(n_noises, 1);
-    let traj = bounds::trajectories_samples_scaling_model(
-        n_noises,
-        p,
-        bounds::FIG5_TRAJECTORY_CONSTANT,
-    );
+    let traj =
+        bounds::trajectories_samples_scaling_model(n_noises, p, bounds::FIG5_TRAJECTORY_CONSTANT);
     assert!(ours < traj, "at p=1e-4 the approximation should win");
 
     // And the chosen method actually achieves its promised accuracy.
@@ -125,12 +126,8 @@ fn sample_budget_planning_workflow() {
 #[test]
 fn trajectory_budgeting_matches_planner() {
     // Plan samples for a 1e-2 target, run, and verify the error.
-    let noisy = NoisyCircuit::inject_random(
-        qaoa_ring(4, &round()),
-        &channels::depolarizing(0.05),
-        3,
-        23,
-    );
+    let noisy =
+        NoisyCircuit::inject_random(qaoa_ring(4, &round()), &channels::depolarizing(0.05), 3, 23);
     let psi = statevector::zero_state(4);
     let v = statevector::basis_state(4, 0);
     let exact = density::expectation(&noisy, &psi, &v);
@@ -173,7 +170,11 @@ fn grid_qaoa_scales_in_qubits_without_density_matrix() {
         },
     );
     assert!(res.value.is_finite());
-    assert!(res.value > 0.9 && res.value <= 1.0 + 1e-6, "value {}", res.value);
+    assert!(
+        res.value > 0.9 && res.value <= 1.0 + 1e-6,
+        "value {}",
+        res.value
+    );
     assert_eq!(res.contractions, 2 * (1 + 3 * 6));
 }
 

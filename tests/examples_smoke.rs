@@ -1,0 +1,52 @@
+//! Smoke tests keeping the `examples/` directory honest: every example
+//! must at least compile, and the flagship `quickstart` must run to
+//! completion and print its closing approximation table.
+//!
+//! The tests shell out to the same `cargo` that is running the test
+//! suite (via the `CARGO` env var cargo sets for us), so they work
+//! offline and inside CI without extra plumbing.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cargo() -> Command {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = Command::new(cargo);
+    // Run from the workspace root regardless of the test's cwd.
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    cmd.current_dir(manifest_dir);
+    cmd
+}
+
+#[test]
+fn all_examples_compile() {
+    let out = cargo()
+        .args(["build", "--examples"])
+        .output()
+        .expect("failed to spawn cargo build --examples");
+    assert!(
+        out.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let out = cargo()
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "quickstart exited nonzero:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // The example ends by sweeping approximation levels 0..=2; the last
+    // line of a healthy run names the exact level.
+    assert!(
+        stdout.contains("approximation level 2"),
+        "quickstart output missing its final table:\n{stdout}"
+    );
+}

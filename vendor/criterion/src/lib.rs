@@ -1,0 +1,278 @@
+//! Offline stand-in for the parts of Criterion the qns benches use.
+//!
+//! The build container has no crates.io access, so this shim keeps the
+//! `benches/` sources compiling and runnable: each benchmark executes a
+//! short fixed number of iterations and prints its mean wall-clock time.
+//! There is no warm-up, outlier analysis, or HTML report — for
+//! statistically careful numbers, swap this path dependency for the real
+//! `criterion` once the environment has network access.
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! fn bench_add(c: &mut Criterion) {
+//!     c.bench_function("add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+//! }
+//!
+//! criterion_group!(benches, bench_add);
+//! # fn run_for_doc() { benches(); }
+//! ```
+
+use std::fmt;
+use std::time::Instant;
+
+/// Label for one benchmark, optionally `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one routine
+/// call per setup call regardless of the variant.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; drives the measured iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+    measured_iters: u64,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            elapsed_ns: 0,
+            measured_iters: 0,
+        }
+    }
+
+    /// Times `routine` over the shim's fixed iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.measured_iters += self.iters;
+    }
+
+    /// Times `routine` on fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.measured_iters += 1;
+        }
+    }
+}
+
+fn report(group: Option<&str>, id: &BenchmarkId, b: &Bencher) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if b.measured_iters == 0 {
+        println!("bench {label:<40} (no iterations)");
+        return;
+    }
+    let mean_ns = b.elapsed_ns as f64 / b.measured_iters as f64;
+    println!(
+        "bench {label:<40} {:>12.3} µs/iter ({} iters)",
+        mean_ns / 1_000.0,
+        b.measured_iters
+    );
+}
+
+/// Entry point handed to each `criterion_group!` function.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // A handful of iterations: enough to amortise timer noise while
+        // keeping `cargo bench` on heavy fixtures tractable.
+        Criterion { iters: 5 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: self.iters,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.iters);
+        f(&mut b);
+        report(None, &id, &b);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    // Tie the group's lifetime to the parent Criterion like the real API.
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim's iteration count is
+    /// fixed, so the requested sample size is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.iters);
+        f(&mut b);
+        report(Some(&self.name), &id, &b);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.iters);
+        f(&mut b, input);
+        report(Some(&self.name), &id, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut n = 0u64;
+        let mut c = Criterion::default();
+        c.bench_function("count", |b| b.iter(|| n += 1));
+        assert_eq!(n, c.iters);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_with_input(
+            BenchmarkId::new("sum", 3),
+            &vec![1, 2, 3],
+            |b, v| {
+                b.iter_batched(
+                    || v.clone(),
+                    |owned| owned.into_iter().sum::<i32>(),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,39 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates a `Vec` of exactly `len` elements drawn from `element`.
+///
+/// Real proptest accepts a size *range* here; the workspace only ever
+/// passes a fixed length, so the shim takes a plain `usize`.
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (0..self.len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_has_requested_length() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let v = vec(0usize..100, 17).generate(&mut rng);
+        assert_eq!(v.len(), 17);
+        assert!(v.iter().all(|&x| x < 100));
+    }
+}

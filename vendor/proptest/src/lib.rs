@@ -1,0 +1,140 @@
+//! Deterministic, dependency-free stand-in for the parts of `proptest`
+//! this workspace uses.
+//!
+//! The build container has no crates.io access, so rather than pin the
+//! published `proptest` we vendor the surface the qns property tests
+//! call: the [`Strategy`] trait with [`Strategy::prop_map`], range and
+//! tuple strategies, [`strategy::Just`], [`collection::vec`],
+//! [`prop_oneof!`], the [`proptest!`] test macro, and the
+//! [`prop_assert!`] family.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and seed so
+//!   it can be replayed, but is not minimised.
+//! * **Deterministic seeding.** Case `i` of test `t` derives its RNG
+//!   seed from FNV-1a(`t`) ⊕ `i`, so runs are reproducible across
+//!   machines with no persistence files.
+//!
+//! # Example
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(8))]
+//!
+//!     // In a real test module this fn would also carry `#[test]`.
+//!     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-import convenience module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Builds a strategy choosing uniformly among the given sub-strategies.
+///
+/// Weighted arms (`n => strategy`) are not supported by this shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current property case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// [`prop_assert!`] specialised to equality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// [`prop_assert!`] specialised to inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Declares property tests.
+///
+/// Accepts the same shape as real proptest: an optional
+/// `#![proptest_config(..)]` header followed by `#[test]` functions whose
+/// arguments are drawn from strategies with `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategies = ($($strat,)+);
+                let ($(ref $arg,)+) = strategies;
+                for case in 0..config.cases {
+                    let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                    let mut rng = $crate::test_runner::TestRng::seed_from_u64(seed);
+                    $(let $arg = $crate::strategy::Strategy::generate($arg, &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} (seed {:#x}) failed: {}",
+                            case + 1, config.cases, seed, e,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
