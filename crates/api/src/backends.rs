@@ -1,0 +1,337 @@
+//! The [`Backend`] trait and its six engine implementations.
+
+use crate::job::{Estimate, ExpectationJob};
+use qns_core::ApproxOptions;
+use qns_mpo::MpoState;
+use qns_noise::{NoisyCircuit, QnsError};
+use qns_sim::trajectory::SamplingStrategy;
+use qns_sim::{density, trajectory};
+use qns_tnet::network::OrderStrategy;
+
+/// A simulation engine that can answer the paper's Problem 1,
+/// `⟨v|E_N(|ψ⟩⟨ψ|)|v⟩`, for a validated [`ExpectationJob`].
+///
+/// All six engines in the workspace implement this trait, so
+/// cross-backend comparisons (the paper's tables), benchmark
+/// harnesses, and services can hold a `&dyn Backend` and stay agnostic
+/// of the engine's native state representation.
+pub trait Backend {
+    /// Short stable name, used in reports and [`Estimate::backend`].
+    fn name(&self) -> &'static str;
+
+    /// Runs the job and returns the estimate.
+    ///
+    /// # Errors
+    ///
+    /// [`QnsError::Unsupported`] when the backend cannot run this job
+    /// (capability limit), [`QnsError::TermBudgetExceeded`] /
+    /// [`QnsError::InvalidJob`] for configuration problems. Size
+    /// mismatches cannot occur: the job is validated at construction.
+    fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError>;
+
+    /// The absolute tolerance within which this backend, *configured
+    /// to be exact* (full level, generous bond, …), agrees with the
+    /// dense density-matrix reference. Sampling backends return a
+    /// loose default; prefer a multiple of [`Estimate::std_error`].
+    fn tolerance(&self) -> f64 {
+        1e-9
+    }
+}
+
+/// The paper's level-`l` SVD approximation ([`qns_core::approx`]).
+///
+/// Deterministic; exact when the level reaches the circuit's noise
+/// count. The [`ApproxOptions::max_terms`] guard surfaces as
+/// [`QnsError::TermBudgetExceeded`] instead of a panic.
+#[non_exhaustive]
+#[derive(Clone, Debug, Default)]
+pub struct ApproxBackend {
+    opts: ApproxOptions,
+}
+
+impl ApproxBackend {
+    /// A backend running at approximation level `level` with default
+    /// options otherwise.
+    pub fn level(level: usize) -> Self {
+        ApproxBackend {
+            opts: ApproxOptions::default().with_level(level),
+        }
+    }
+
+    /// A backend with fully explicit options.
+    pub fn with_options(opts: ApproxOptions) -> Self {
+        ApproxBackend { opts }
+    }
+
+    /// A backend whose level equals `noisy`'s noise count — exact for
+    /// that circuit (all `4^N` patterns), subject to the `max_terms`
+    /// guard.
+    pub fn exact_for(noisy: &NoisyCircuit) -> Self {
+        Self::level(noisy.noise_count())
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &ApproxOptions {
+        &self.opts
+    }
+}
+
+impl Backend for ApproxBackend {
+    fn name(&self) -> &'static str {
+        "approx"
+    }
+
+    fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError> {
+        let res = qns_core::try_approximate_expectation(
+            job.noisy(),
+            job.initial().product(),
+            job.observable().product(),
+            &self.opts,
+        )?;
+        Ok(Estimate::exact(res.value, self.name()))
+    }
+
+    fn tolerance(&self) -> f64 {
+        1e-8
+    }
+}
+
+/// Exact dense density-matrix evolution (the MM-based baseline).
+///
+/// Memory is `O(4^n)`, so jobs beyond [`DensityBackend::max_qubits`]
+/// are declined with [`QnsError::Unsupported`] — the programmatic
+/// version of the paper's 2048 GB memory-out rows.
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub struct DensityBackend {
+    max_qubits: usize,
+}
+
+impl Default for DensityBackend {
+    fn default() -> Self {
+        DensityBackend { max_qubits: 12 }
+    }
+}
+
+impl DensityBackend {
+    /// A backend with the default feasibility cap (12 qubits ≈ 270 MB).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with the feasibility cap raised or lowered.
+    pub fn with_max_qubits(mut self, max_qubits: usize) -> Self {
+        self.max_qubits = max_qubits;
+        self
+    }
+
+    /// The largest job this backend will accept.
+    pub fn max_qubits(&self) -> usize {
+        self.max_qubits
+    }
+}
+
+impl Backend for DensityBackend {
+    fn name(&self) -> &'static str {
+        "density"
+    }
+
+    fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError> {
+        let n = job.n_qubits();
+        if n > self.max_qubits {
+            return Err(QnsError::Unsupported {
+                backend: self.name(),
+                reason: format!(
+                    "{n} qubits exceed the dense-matrix cap of {} (O(4^n) memory)",
+                    self.max_qubits
+                ),
+            });
+        }
+        let value = density::expectation(
+            job.noisy(),
+            &job.initial().statevector(),
+            &job.observable().statevector(),
+        );
+        Ok(Estimate::exact(value, self.name()))
+    }
+}
+
+/// Quantum-trajectory (Monte-Carlo wavefunction) sampling.
+///
+/// The estimate carries [`Estimate::std_error`]; agreement checks
+/// should use a multiple of it rather than a fixed tolerance.
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub struct TrajectoryBackend {
+    samples: usize,
+    strategy: SamplingStrategy,
+    seed: u64,
+}
+
+impl Default for TrajectoryBackend {
+    fn default() -> Self {
+        TrajectoryBackend {
+            samples: 4000,
+            strategy: SamplingStrategy::MixedUnitaryFastPath,
+            seed: 7,
+        }
+    }
+}
+
+impl TrajectoryBackend {
+    /// A backend drawing `samples` trajectories (fast-path sampling,
+    /// fixed default seed).
+    pub fn samples(samples: usize) -> Self {
+        TrajectoryBackend {
+            samples,
+            ..Default::default()
+        }
+    }
+
+    /// Returns a copy with the Kraus-sampling strategy set.
+    pub fn with_strategy(mut self, strategy: SamplingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Returns a copy with the RNG seed set.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Backend for TrajectoryBackend {
+    fn name(&self) -> &'static str {
+        "trajectory"
+    }
+
+    fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError> {
+        if self.samples == 0 {
+            return Err(QnsError::InvalidJob {
+                reason: "trajectory backend needs at least one sample".into(),
+            });
+        }
+        let est = trajectory::estimate(
+            job.noisy(),
+            &job.initial().statevector(),
+            &job.observable().statevector(),
+            self.samples,
+            self.strategy,
+            self.seed,
+        );
+        Ok(Estimate::sampled(est.mean, est.std_error, self.name()))
+    }
+
+    fn tolerance(&self) -> f64 {
+        0.05
+    }
+}
+
+/// Density-matrix evolution on tensor decision diagrams.
+#[non_exhaustive]
+#[derive(Clone, Debug, Default)]
+pub struct TddBackend;
+
+impl TddBackend {
+    /// A decision-diagram backend.
+    pub fn new() -> Self {
+        TddBackend
+    }
+}
+
+impl Backend for TddBackend {
+    fn name(&self) -> &'static str {
+        "tdd"
+    }
+
+    fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError> {
+        let value = qns_tdd::expectation(
+            job.noisy(),
+            &job.initial().factors(),
+            &job.observable().factors(),
+        );
+        Ok(Estimate::exact(value, self.name()))
+    }
+}
+
+/// Exact contraction of the paper's double-size tensor network.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TnetBackend {
+    strategy: OrderStrategy,
+}
+
+impl TnetBackend {
+    /// A tensor-network backend with the greedy contraction order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with the contraction-order strategy set.
+    pub fn with_strategy(mut self, strategy: OrderStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+impl Backend for TnetBackend {
+    fn name(&self) -> &'static str {
+        "tnet"
+    }
+
+    fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError> {
+        let value = qns_tnet::simulator::expectation(
+            job.noisy(),
+            job.initial().product(),
+            job.observable().product(),
+            self.strategy,
+        );
+        Ok(Estimate::exact(value, self.name()))
+    }
+}
+
+/// Matrix-product-operator density evolution with a bond cap.
+///
+/// Exact while the state's bond dimension stays below the cap;
+/// truncation error grows as entanglement exceeds it.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug)]
+pub struct MpoBackend {
+    max_bond: usize,
+}
+
+impl Default for MpoBackend {
+    fn default() -> Self {
+        MpoBackend { max_bond: 64 }
+    }
+}
+
+impl MpoBackend {
+    /// An MPO backend truncating bonds to `max_bond`.
+    pub fn max_bond(max_bond: usize) -> Self {
+        MpoBackend { max_bond }
+    }
+}
+
+impl Backend for MpoBackend {
+    fn name(&self) -> &'static str {
+        "mpo"
+    }
+
+    fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError> {
+        if self.max_bond == 0 {
+            return Err(QnsError::InvalidJob {
+                reason: "MPO backend needs max_bond ≥ 1".into(),
+            });
+        }
+        let mut rho = MpoState::from_product(&job.initial().factors(), self.max_bond);
+        rho.run(job.noisy());
+        let value = rho.expectation_product(&job.observable().factors());
+        Ok(Estimate::exact(value, self.name()))
+    }
+
+    fn tolerance(&self) -> f64 {
+        1e-8
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! The unified simulation API for the `qns` workspace.
+//!
+//! The paper's central claim (Theorem 1) is a *comparison*: the
+//! level-`l` SVD expansion matches the density-matrix, trajectory,
+//! decision-diagram, tensor-network and MPO baselines at a fraction of
+//! their cost. This crate makes that comparison a one-liner by putting
+//! all six engines behind one [`Backend`] trait with a single
+//! request/response protocol:
+//!
+//! * [`ExpectationJob`] — the paper's Problem 1, `⟨v|E_N(|ψ⟩⟨ψ|)|v⟩`,
+//!   as a validated request: a noisy circuit, an [`InitialState`] `|ψ⟩`
+//!   and an [`Observable`] projector `|v⟩⟨v|`. The state types own the
+//!   conversions between the engines' three representations
+//!   (`&[Complex64]` statevectors, [`ProductState`]s,
+//!   `[[Complex64; 2]]` factor lists), replacing the hand-rolled glue
+//!   at every call site.
+//! * [`Backend`] — `fn expectation(&self, job) -> Result<Estimate, QnsError>`,
+//!   implemented by [`ApproxBackend`], [`DensityBackend`],
+//!   [`TrajectoryBackend`], [`TddBackend`], [`TnetBackend`] and
+//!   [`MpoBackend`].
+//! * [`Simulation`] — a fluent builder:
+//!   `Simulation::new(&noisy).initial(..).observable(..).run_on(&backend)`.
+//! * [`run_batch`] / [`compare_backends`] — many jobs on one backend,
+//!   or one job across many backends, in one call.
+//!
+//! # Example
+//!
+//! ```
+//! use qns_api::{ApproxBackend, Backend, DensityBackend, Simulation};
+//! use qns_circuit::generators::ghz;
+//! use qns_noise::{channels, NoisyCircuit};
+//!
+//! let noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(1e-3), 2, 7);
+//! let job = Simulation::new(&noisy).observable_basis(0b111).build()?;
+//!
+//! let exact = DensityBackend::new().expectation(&job)?;
+//! let approx = ApproxBackend::level(2).expectation(&job)?; // 2 noises ⇒ exact
+//! assert!((exact.value - approx.value).abs() < 1e-9);
+//! # Ok::<(), qns_api::QnsError>(())
+//! ```
+
+mod backends;
+mod batch;
+mod job;
+
+pub use backends::{
+    ApproxBackend, Backend, DensityBackend, MpoBackend, TddBackend, TnetBackend, TrajectoryBackend,
+};
+pub use batch::{compare_backends, run_batch};
+pub use job::{Estimate, ExpectationJob, InitialState, Observable, Simulation};
+
+// Re-exported so downstream code can name every type in a facade
+// signature from this one crate.
+pub use qns_core::ApproxOptions;
+pub use qns_noise::QnsError;
+pub use qns_sim::trajectory::SamplingStrategy;
+pub use qns_tnet::builder::ProductState;
+pub use qns_tnet::network::OrderStrategy;

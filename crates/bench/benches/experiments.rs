@@ -56,10 +56,7 @@ fn bench_table2_engines(c: &mut Criterion) {
                 black_box(&noisy),
                 &psi,
                 &v,
-                &ApproxOptions {
-                    level: 1,
-                    ..Default::default()
-                },
+                &ApproxOptions::default().with_level(1),
             )
         })
     });
@@ -81,10 +78,7 @@ fn bench_fig4_noise_scaling(c: &mut Criterion) {
                     black_box(noisy),
                     &psi,
                     &v,
-                    &ApproxOptions {
-                        level: 1,
-                        ..Default::default()
-                    },
+                    &ApproxOptions::default().with_level(1),
                 )
             })
         });
@@ -130,10 +124,7 @@ fn bench_table3_trajectories(c: &mut Criterion) {
                 black_box(&noisy),
                 &pp,
                 &vv,
-                &ApproxOptions {
-                    level: 1,
-                    ..Default::default()
-                },
+                &ApproxOptions::default().with_level(1),
             )
         })
     });
@@ -155,10 +146,7 @@ fn bench_table4_levels(c: &mut Criterion) {
                     black_box(&noisy),
                     &psi,
                     &v,
-                    &ApproxOptions {
-                        level,
-                        ..Default::default()
-                    },
+                    &ApproxOptions::default().with_level(level),
                 )
             })
         });
@@ -225,10 +213,7 @@ fn bench_ablation_split(c: &mut Criterion) {
     let n = noisy.n_qubits();
     let psi = ProductState::all_zeros(n);
     let v = ProductState::basis(n, 0);
-    let opts = ApproxOptions {
-        level: 1,
-        ..Default::default()
-    };
+    let opts = ApproxOptions::default().with_level(1);
     group.bench_function("split", |b| {
         b.iter(|| approximate_expectation(black_box(&noisy), &psi, &v, &opts))
     });

@@ -8,14 +8,12 @@
 //! Usage:
 //!   cargo run -p qns-bench --release --bin fig6 [--noises 6]
 
+use qns_api::{ApproxBackend, Backend, DensityBackend, Simulation};
 use qns_bench::{arg_usize, print_row};
 use qns_circuit::generators::qaoa_grid_random;
-use qns_core::approx::{approximate_expectation, ApproxOptions};
 use qns_noise::{channels, Kraus, NoisyCircuit};
-use qns_tnet::builder::ProductState;
 
 fn sweep(label: &str, pattern: &NoisyCircuit, channels: Vec<(f64, Kraus)>) {
-    let n = pattern.n_qubits();
     println!("\n{label}");
     let widths = [14usize, 13, 13];
     print_row(
@@ -25,25 +23,16 @@ fn sweep(label: &str, pattern: &NoisyCircuit, channels: Vec<(f64, Kraus)>) {
     for (_, ch) in &channels {
         let noisy = pattern.with_channel(ch);
         let rate = ch.noise_rate();
-        let exact = qns_sim::density::expectation(
-            &noisy,
-            &qns_sim::statevector::zero_state(n),
-            &qns_sim::statevector::basis_state(n, 0),
-        );
-        let res = approximate_expectation(
-            &noisy,
-            &ProductState::all_zeros(n),
-            &ProductState::basis(n, 0),
-            &ApproxOptions {
-                level: 1,
-                ..Default::default()
-            },
-        );
+        let job = Simulation::new(&noisy).build().expect("valid job");
+        let exact = DensityBackend::new().expectation(&job).expect("dense run");
+        let res = ApproxBackend::level(1)
+            .expectation(&job)
+            .expect("level-1 run");
         print_row(
             &[
                 format!("{rate:.3e}"),
-                format!("{:.3e}", (res.value - exact).abs()),
-                format!("{exact:.5}"),
+                format!("{:.3e}", (res.value - exact.value).abs()),
+                format!("{:.5}", exact.value),
             ],
             &widths,
         );

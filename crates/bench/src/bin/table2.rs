@@ -12,13 +12,13 @@
 //! wins at 2 noises, ours wins as noises grow — is the reproduced
 //! result.
 
+use qns_api::{
+    ApproxBackend, ApproxOptions, Backend, DensityBackend, Simulation, TddBackend, TnetBackend,
+};
 use qns_bench::registry::{default_set, full_set, Family, MM_QUBIT_LIMIT};
 use qns_bench::timing::{fmt_time, time_it};
 use qns_bench::{arg_flag, arg_usize, print_row};
-use qns_core::approx::{approximate_expectation, ApproxOptions};
 use qns_noise::{channels, NoisyCircuit};
-use qns_tnet::builder::ProductState;
-use qns_tnet::network::OrderStrategy;
 
 /// TDD density evolution is only competitive on structured circuits;
 /// beyond these limits we report MO like the paper does for its
@@ -80,6 +80,15 @@ fn main() {
             bench.circuit.depth().to_string(),
         ];
 
+        // One engine-agnostic timing closure: every column is the same
+        // `ExpectationJob` on a different `Backend`.
+        let time_backend = |noisy: &NoisyCircuit, backend: &dyn Backend| {
+            let job = Simulation::new(noisy).build().expect("registry job");
+            let (res, t) = time_it(|| backend.expectation(&job));
+            res.expect("feasibility is pre-gated");
+            t
+        };
+
         for &noises in &[2usize, 20] {
             let noisy = NoisyCircuit::inject_random(
                 bench.circuit.clone(),
@@ -87,56 +96,34 @@ fn main() {
                 noises,
                 0xF00D + noises as u64,
             );
-            let psi = ProductState::all_zeros(n);
-            let v = ProductState::all_zeros(n);
 
             if noises == 2 {
                 // MM-based.
-                let mm_t = if mm_feasible(n) {
-                    let psi_sv = qns_sim::statevector::zero_state(n);
-                    let v_sv = qns_sim::statevector::basis_state(n, 0);
-                    let (_, t) = time_it(|| qns_sim::density::expectation(&noisy, &psi_sv, &v_sv));
-                    Some(t)
-                } else {
-                    None
-                };
+                let mm_t = mm_feasible(n).then(|| {
+                    time_backend(
+                        &noisy,
+                        &DensityBackend::new().with_max_qubits(MM_QUBIT_LIMIT),
+                    )
+                });
                 cells.push(fmt_time(mm_t, "MO"));
 
                 // TDD-based.
-                let dd_t = if tdd_feasible(bench.family, n, noises) {
-                    let (_, t) = time_it(|| {
-                        qns_tdd::expectation(
-                            &noisy,
-                            &qns_tdd::simulator::zeros(n),
-                            &qns_tdd::simulator::basis(n, 0),
-                        )
-                    });
-                    Some(t)
-                } else {
-                    None
-                };
+                let dd_t = tdd_feasible(bench.family, n, noises)
+                    .then(|| time_backend(&noisy, &TddBackend::new()));
                 cells.push(fmt_time(dd_t, "MO"));
             }
 
             // TN-based exact.
-            let (_, tn_t) = time_it(|| {
-                qns_tnet::simulator::expectation(&noisy, &psi, &v, OrderStrategy::Greedy)
-            });
+            let tn_t = time_backend(&noisy, &TnetBackend::new());
             cells.push(fmt_time(Some(tn_t), "MO"));
 
             // Ours.
-            let (_, ours_t) = time_it(|| {
-                approximate_expectation(
-                    &noisy,
-                    &psi,
-                    &v,
-                    &ApproxOptions {
-                        level,
-                        threads,
-                        ..Default::default()
-                    },
-                )
-            });
+            let ours = ApproxBackend::with_options(
+                ApproxOptions::default()
+                    .with_level(level)
+                    .with_threads(threads),
+            );
+            let ours_t = time_backend(&noisy, &ours);
             cells.push(fmt_time(Some(ours_t), "MO"));
         }
         print_row(&cells, &widths);

@@ -10,13 +10,17 @@
 //!   cargo run -p qns-bench --release --bin table3
 //!     [--noises 20] [--p 0.001] [--max-samples 20000]
 
+use qns_api::{
+    ApproxBackend, ApproxOptions, Backend, DensityBackend, SamplingStrategy, Simulation,
+    TnetBackend, TrajectoryBackend,
+};
 use qns_bench::registry::MM_QUBIT_LIMIT;
 use qns_bench::timing::time_it;
 use qns_bench::{arg_f64, arg_usize, print_row};
 use qns_circuit::generators::qaoa_grid_random;
-use qns_core::approx::{approximate_expectation, ApproxOptions};
-use qns_noise::{channels, NoisyCircuit};
-use qns_sim::trajectory::{self, SamplingStrategy};
+use qns_noise::channels;
+use qns_noise::NoisyCircuit;
+use qns_sim::trajectory;
 use qns_tnet::builder::ProductState;
 use qns_tnet::network::OrderStrategy;
 
@@ -50,50 +54,34 @@ fn main() {
         let circuit = qaoa_grid_random(rows, cols, 2, 20 + rows as u64);
         let n = circuit.n_qubits();
         let noisy = NoisyCircuit::inject_random(circuit, &channel, n_noises, 0xBEEF);
+        let job = Simulation::new(&noisy).build().expect("valid job");
         let psi = ProductState::all_zeros(n);
         let v = ProductState::all_zeros(n);
 
         // Reference: dense density matrix when feasible, else the exact
         // tensor-network contraction of the double network.
-        let reference = if n <= MM_QUBIT_LIMIT {
-            qns_sim::density::expectation(
-                &noisy,
-                &qns_sim::statevector::zero_state(n),
-                &qns_sim::statevector::basis_state(n, 0),
-            )
-        } else {
-            qns_tnet::simulator::expectation(&noisy, &psi, &v, OrderStrategy::Greedy)
-        };
+        let reference = DensityBackend::new()
+            .with_max_qubits(MM_QUBIT_LIMIT)
+            .expectation(&job)
+            .or_else(|_| TnetBackend::new().expectation(&job))
+            .expect("TN reference always runs")
+            .value;
 
         // Ours, level 1.
-        let (ours, ours_t) = time_it(|| {
-            approximate_expectation(
-                &noisy,
-                &psi,
-                &v,
-                &ApproxOptions {
-                    level: 1,
-                    threads,
-                    ..Default::default()
-                },
-            )
-        });
+        let ours_backend = ApproxBackend::with_options(
+            ApproxOptions::default().with_level(1).with_threads(threads),
+        );
+        let (ours, ours_t) = time_it(|| ours_backend.expectation(&job).expect("level-1 run"));
         let ours_prec = (ours.value - reference).abs();
 
         // Trajectories matched to our precision (Hoeffding plan, capped).
         let samples = trajectory::required_samples(ours_prec.max(1e-7), 0.99).min(max_samples);
 
-        let (mm_est, mm_t) = time_it(|| {
-            trajectory::estimate(
-                &noisy,
-                &qns_sim::statevector::zero_state(n),
-                &qns_sim::statevector::basis_state(n, 0),
-                samples,
-                SamplingStrategy::MixedUnitaryFastPath,
-                11,
-            )
-        });
-        let mm_prec = (mm_est.mean - reference).abs();
+        let traj_backend = TrajectoryBackend::samples(samples)
+            .with_strategy(SamplingStrategy::MixedUnitaryFastPath)
+            .with_seed(11);
+        let (mm_est, mm_t) = time_it(|| traj_backend.expectation(&job).expect("trajectory run"));
+        let mm_prec = (mm_est.value - reference).abs();
 
         let (tn_est, tn_t) = time_it(|| {
             qns_tnet::simulator::trajectory_estimate(

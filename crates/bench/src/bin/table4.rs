@@ -9,13 +9,13 @@
 //!   cargo run -p qns-bench --release --bin table4
 //!     [--rows 3] [--cols 3] [--noises 10]
 
+use qns_api::{ApproxBackend, ApproxOptions, Backend, Simulation};
 use qns_bench::registry::MM_QUBIT_LIMIT;
 use qns_bench::timing::time_it;
 use qns_bench::{arg_usize, print_row};
 use qns_circuit::generators::qaoa_grid_random;
-use qns_core::approx::{append_ideal_inverse, approximate_expectation, ApproxOptions};
+use qns_core::approx::append_ideal_inverse;
 use qns_noise::{channels, NoisyCircuit};
-use qns_tnet::builder::ProductState;
 
 fn main() {
     let threads = qns_bench::arg_usize("--threads", 1);
@@ -35,28 +35,26 @@ fn main() {
         channel.noise_rate()
     );
 
-    // Exact reference.
+    // Exact reference: the non-product |v⟩ = U|0…0⟩ goes through the
+    // dense engine directly; beyond MM reach the ideal-inverse
+    // rewriting turns it into a facade-shaped product job.
+    let extended = append_ideal_inverse(&noisy);
     let reference = if n <= MM_QUBIT_LIMIT {
         let ideal = qns_sim::statevector::run(&circuit, &qns_sim::statevector::zero_state(n));
         qns_sim::density::expectation(&noisy, &qns_sim::statevector::zero_state(n), &ideal)
     } else {
-        let ext = append_ideal_inverse(&noisy);
-        approximate_expectation(
-            &ext,
-            &ProductState::all_zeros(n),
-            &ProductState::all_zeros(n),
-            &ApproxOptions {
-                level: max_level + 1,
-                threads,
-                ..Default::default()
-            },
-        )
-        .value
+        let backend = ApproxBackend::with_options(
+            ApproxOptions::default()
+                .with_level(max_level + 1)
+                .with_threads(threads),
+        );
+        Simulation::new(&extended)
+            .run_on(&backend)
+            .expect("reference run")
+            .value
     };
 
-    let extended = append_ideal_inverse(&noisy);
-    let psi = ProductState::all_zeros(n);
-    let v = ProductState::all_zeros(n);
+    let job = Simulation::new(&extended).build().expect("valid job");
 
     let widths = [6usize, 10, 14, 11, 14];
     print_row(
@@ -70,25 +68,20 @@ fn main() {
         &widths,
     );
     for level in 0..=max_level {
-        let (res, t) = time_it(|| {
-            approximate_expectation(
-                &extended,
-                &psi,
-                &v,
-                &ApproxOptions {
-                    level,
-                    threads,
-                    ..Default::default()
-                },
-            )
-        });
+        let backend = ApproxBackend::with_options(
+            ApproxOptions::default()
+                .with_level(level)
+                .with_threads(threads),
+        );
+        let (est, t) = time_it(|| backend.expectation(&job).expect("level run"));
+        let contractions = qns_core::bounds::contraction_count(n_noises, level);
         print_row(
             &[
                 level.to_string(),
                 format!("{t:.2}s"),
-                format!("{:.7}", res.value),
-                format!("{:.2e}", (res.value - reference).abs()),
-                res.contractions.to_string(),
+                format!("{:.7}", est.value),
+                format!("{:.2e}", (est.value - reference).abs()),
+                contractions.to_string(),
             ],
             &widths,
         );

@@ -20,11 +20,16 @@
 use crate::noise_svd::NoiseSvd;
 use qns_circuit::Circuit;
 use qns_linalg::Complex64;
-use qns_noise::{NoiseEvent, NoisyCircuit};
+use qns_noise::{NoiseEvent, NoisyCircuit, QnsError};
 use qns_tnet::builder::{amplitude_network_with, Insertion, ProductState};
 use qns_tnet::network::OrderStrategy;
 
 /// Options for [`approximate_expectation`].
+///
+/// Marked `#[non_exhaustive]`: construct with
+/// [`ApproxOptions::default`] and the `with_*` setters so future
+/// fields are not breaking changes.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ApproxOptions {
     /// Approximation level `l` (0 = dominant terms only; `≥ N` = exact).
@@ -48,6 +53,32 @@ impl Default for ApproxOptions {
             max_terms: 20_000_000,
             threads: 1,
         }
+    }
+}
+
+impl ApproxOptions {
+    /// Returns a copy with the approximation level set to `level`.
+    pub fn with_level(mut self, level: usize) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Returns a copy with the contraction-order strategy set.
+    pub fn with_strategy(mut self, strategy: OrderStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Returns a copy with the pattern-count guard set.
+    pub fn with_max_terms(mut self, max_terms: u128) -> Self {
+        self.max_terms = max_terms;
+        self
+    }
+
+    /// Returns a copy with the worker-thread count set.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -126,6 +157,36 @@ fn evaluate_pattern(
     amp_up * amp_lo
 }
 
+/// Validates that a state's qubit count matches the circuit's.
+fn check_state(
+    what: &'static str,
+    state: &ProductState,
+    circuit: &Circuit,
+) -> Result<(), QnsError> {
+    if state.n_qubits() != circuit.n_qubits() {
+        return Err(QnsError::SizeMismatch {
+            what,
+            expected: circuit.n_qubits(),
+            actual: state.n_qubits(),
+        });
+    }
+    Ok(())
+}
+
+/// Validates the Theorem-1 pattern budget against the `max_terms`
+/// guard, returning the planned pattern count.
+fn check_budget(n_sites: usize, level: usize, max_terms: u128) -> Result<u128, QnsError> {
+    let planned: u128 = crate::bounds::contraction_count(n_sites, level) / 2;
+    if planned > max_terms {
+        return Err(QnsError::TermBudgetExceeded {
+            level,
+            planned,
+            max_terms,
+        });
+    }
+    Ok(planned)
+}
+
 /// Iterates all `k`-subsets of `0..n` in lexicographic order, calling
 /// `f` for each.
 fn for_each_subset(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
@@ -171,24 +232,29 @@ pub fn approximate_expectation(
     v: &ProductState,
     opts: &ApproxOptions,
 ) -> ApproxResult {
+    try_approximate_expectation(noisy, psi, v, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking variant of [`approximate_expectation`].
+///
+/// # Errors
+///
+/// [`QnsError::SizeMismatch`] if a state's qubit count disagrees with
+/// the circuit, [`QnsError::TermBudgetExceeded`] if the run would
+/// exceed [`ApproxOptions::max_terms`].
+pub fn try_approximate_expectation(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    v: &ProductState,
+    opts: &ApproxOptions,
+) -> Result<ApproxResult, QnsError> {
     let circuit = noisy.circuit();
-    assert_eq!(
-        psi.n_qubits(),
-        circuit.n_qubits(),
-        "input state size mismatch"
-    );
-    assert_eq!(v.n_qubits(), circuit.n_qubits(), "test state size mismatch");
+    check_state("input state", psi, circuit)?;
+    check_state("test state", v, circuit)?;
     let sites = collect_sites(noisy);
     let n = sites.len();
     let level = opts.level.min(n);
-
-    let planned: u128 = crate::bounds::contraction_count(n, level) / 2;
-    assert!(
-        planned <= opts.max_terms,
-        "level-{level} run needs {planned} patterns (> max_terms {}); \
-         lower the level or raise the guard",
-        opts.max_terms
-    );
+    check_budget(n, level, opts.max_terms)?;
 
     let mut per_level = vec![0.0f64; level + 1];
     let mut terms_evaluated = 0usize;
@@ -212,12 +278,12 @@ pub fn approximate_expectation(
         per_level[u] = tu.re;
     }
 
-    ApproxResult {
+    Ok(ApproxResult {
         value: per_level.iter().sum(),
         per_level,
         terms_evaluated,
         contractions: 2 * terms_evaluated,
-    }
+    })
 }
 
 /// Materializes all level-`u` substitution patterns over `n` sites as
@@ -307,28 +373,32 @@ pub fn approximate_expectation_unsplit(
     v: &ProductState,
     opts: &ApproxOptions,
 ) -> ApproxResult {
+    try_approximate_expectation_unsplit(noisy, psi, v, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking variant of [`approximate_expectation_unsplit`].
+///
+/// # Errors
+///
+/// As [`try_approximate_expectation`].
+pub fn try_approximate_expectation_unsplit(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    v: &ProductState,
+    opts: &ApproxOptions,
+) -> Result<ApproxResult, QnsError> {
     use qns_tnet::builder::double_network;
     use std::collections::HashMap;
 
     let circuit = noisy.circuit();
-    assert_eq!(
-        psi.n_qubits(),
-        circuit.n_qubits(),
-        "input state size mismatch"
-    );
-    assert_eq!(v.n_qubits(), circuit.n_qubits(), "test state size mismatch");
+    check_state("input state", psi, circuit)?;
+    check_state("test state", v, circuit)?;
     let sites = collect_sites(noisy);
     let n = sites.len();
     let n_regular = noisy.events().len();
     let n_initial = noisy.initial_events().len();
     let level = opts.level.min(n);
-
-    let planned: u128 = crate::bounds::contraction_count(n, level) / 2;
-    assert!(
-        planned <= opts.max_terms,
-        "level-{level} run needs {planned} patterns (> max_terms {})",
-        opts.max_terms
-    );
+    check_budget(n, level, opts.max_terms)?;
 
     // Site index (initial-first ordering of `collect_sites`) → the
     // replacement key used by `double_network` (regular events keyed by
@@ -387,12 +457,12 @@ pub fn approximate_expectation_unsplit(
         per_level[u] = tu.re;
     }
 
-    ApproxResult {
+    Ok(ApproxResult {
         value: per_level.iter().sum(),
         per_level,
         terms_evaluated,
         contractions: terms_evaluated, // one double-size contraction each
-    }
+    })
 }
 
 /// Evaluates one substitution pattern with **asymmetric caps**: the
@@ -452,23 +522,29 @@ pub fn approximate_matrix_element(
     y: &ProductState,
     opts: &ApproxOptions,
 ) -> Complex64 {
+    try_approximate_matrix_element(noisy, psi, x, y, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking variant of [`approximate_matrix_element`].
+///
+/// # Errors
+///
+/// As [`try_approximate_expectation`].
+pub fn try_approximate_matrix_element(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    x: &ProductState,
+    y: &ProductState,
+    opts: &ApproxOptions,
+) -> Result<Complex64, QnsError> {
     let circuit = noisy.circuit();
-    assert_eq!(
-        psi.n_qubits(),
-        circuit.n_qubits(),
-        "input state size mismatch"
-    );
-    assert_eq!(x.n_qubits(), circuit.n_qubits(), "bra state size mismatch");
-    assert_eq!(y.n_qubits(), circuit.n_qubits(), "ket state size mismatch");
+    check_state("input state", psi, circuit)?;
+    check_state("bra state", x, circuit)?;
+    check_state("ket state", y, circuit)?;
     let sites = collect_sites(noisy);
     let n = sites.len();
     let level = opts.level.min(n);
-    let planned: u128 = crate::bounds::contraction_count(n, level) / 2;
-    assert!(
-        planned <= opts.max_terms,
-        "level-{level} run needs {planned} patterns (> max_terms {})",
-        opts.max_terms
-    );
+    check_budget(n, level, opts.max_terms)?;
 
     let mut total = Complex64::ZERO;
     let mut assignment = vec![0usize; n];
@@ -481,7 +557,7 @@ pub fn approximate_matrix_element(
                 evaluate_pattern_element(circuit, psi, x, y, &sites, &assignment, opts.strategy);
         }
     }
-    total
+    Ok(total)
 }
 
 /// Reconstructs the full output density matrix of a noisy circuit by
@@ -491,14 +567,35 @@ pub fn approximate_matrix_element(
 ///
 /// # Panics
 ///
-/// Panics if `n > 6` or under the underlying run's conditions.
+/// Panics if `n > 6` or under the underlying run's conditions. Use
+/// [`try_reconstruct_density`] for a non-panicking variant.
 pub fn reconstruct_density(
     noisy: &NoisyCircuit,
     psi: &ProductState,
     opts: &ApproxOptions,
 ) -> qns_linalg::Matrix {
+    try_reconstruct_density(noisy, psi, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking variant of [`reconstruct_density`].
+///
+/// # Errors
+///
+/// [`QnsError::TooLarge`] when `n > 6` (the reconstruction estimates
+/// `4^n` elements), plus the underlying run's error conditions.
+pub fn try_reconstruct_density(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    opts: &ApproxOptions,
+) -> Result<qns_linalg::Matrix, QnsError> {
     let n = noisy.n_qubits();
-    assert!(n <= 6, "density reconstruction is exponential; n ≤ 6");
+    if n > 6 {
+        return Err(QnsError::TooLarge {
+            what: "density reconstruction",
+            n,
+            limit: 6,
+        });
+    }
     let dim = 1usize << n;
     let mut rho = qns_linalg::Matrix::zeros(dim, dim);
     for r in 0..dim {
@@ -506,14 +603,14 @@ pub fn reconstruct_density(
         // Diagonal element plus upper triangle; fill lower by symmetry.
         for c in r..dim {
             let y = ProductState::basis(n, c);
-            let val = approximate_matrix_element(noisy, psi, &x, &y, opts);
+            let val = try_approximate_matrix_element(noisy, psi, &x, &y, opts)?;
             rho[(r, c)] = val;
             if c != r {
                 rho[(c, r)] = val.conj();
             }
         }
     }
-    rho
+    Ok(rho)
 }
 
 /// Diagnostics attached to an automatic run.
@@ -957,6 +1054,70 @@ mod tests {
             split.value,
             unsplit.value
         );
+    }
+
+    #[test]
+    fn try_variants_report_structured_errors() {
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(1e-3), 4, 1);
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0);
+
+        // Wrong-size state.
+        let wrong = ProductState::all_zeros(5);
+        let err = try_approximate_expectation(&noisy, &wrong, &v, &opts(1)).unwrap_err();
+        assert_eq!(
+            err,
+            QnsError::SizeMismatch {
+                what: "input state",
+                expected: 3,
+                actual: 5
+            }
+        );
+
+        // Budget guard.
+        let tight = ApproxOptions::default().with_level(3).with_max_terms(2);
+        let err = try_approximate_expectation(&noisy, &psi, &v, &tight).unwrap_err();
+        assert!(matches!(
+            err,
+            QnsError::TermBudgetExceeded {
+                level: 3,
+                max_terms: 2,
+                ..
+            }
+        ));
+
+        // Matrix elements share the same validation.
+        let err = try_approximate_matrix_element(&noisy, &psi, &wrong, &v, &opts(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            QnsError::SizeMismatch {
+                what: "bra state",
+                ..
+            }
+        ));
+
+        // Reconstruction refuses large systems without panicking.
+        let big = NoisyCircuit::noiseless(ghz(7));
+        let err = try_reconstruct_density(&big, &ProductState::all_zeros(7), &opts(0)).unwrap_err();
+        assert!(matches!(err, QnsError::TooLarge { n: 7, limit: 6, .. }));
+
+        // And the happy path still matches the panicking wrapper.
+        let a = try_approximate_expectation(&noisy, &psi, &v, &opts(1)).unwrap();
+        let b = approximate_expectation(&noisy, &psi, &v, &opts(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn options_builder_setters_compose() {
+        let o = ApproxOptions::default()
+            .with_level(3)
+            .with_strategy(OrderStrategy::Sequential)
+            .with_max_terms(99)
+            .with_threads(4);
+        assert_eq!(o.level, 3);
+        assert_eq!(o.strategy, OrderStrategy::Sequential);
+        assert_eq!(o.max_terms, 99);
+        assert_eq!(o.threads, 4);
     }
 
     #[test]

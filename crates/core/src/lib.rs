@@ -34,7 +34,7 @@
 //!     &noisy,
 //!     &ProductState::all_zeros(3),
 //!     &ProductState::basis(3, 0b111),
-//!     &ApproxOptions { level: 1, ..Default::default() },
+//!     &ApproxOptions::default().with_level(1),
 //! );
 //! // GHZ fidelity stays near 1/2 under tiny noise.
 //! assert!((res.value - 0.5).abs() < 0.01);
@@ -47,9 +47,11 @@ pub mod permutation;
 
 pub use approx::{
     append_ideal_inverse, approximate_expectation, approximate_expectation_unsplit,
-    approximate_matrix_element, reconstruct_density, simulate_auto, ApproxOptions, ApproxResult,
-    AutoReport,
+    approximate_matrix_element, reconstruct_density, simulate_auto, try_approximate_expectation,
+    try_approximate_expectation_unsplit, try_approximate_matrix_element, try_reconstruct_density,
+    ApproxOptions, ApproxResult, AutoReport,
 };
 pub use bounds::{contraction_count, error_bound, level_recommendation};
 pub use noise_svd::NoiseSvd;
 pub use permutation::tensor_permute;
+pub use qns_noise::QnsError;

@@ -8,7 +8,7 @@
 //! * [`Complex64`] — a `f64`-based complex number with full arithmetic.
 //! * [`Matrix`] — a dense, row-major complex matrix with the usual
 //!   algebra (product, Kronecker product, adjoint, trace, norms).
-//! * [`svd`] — a one-sided Jacobi singular value decomposition, the
+//! * [`svd()`] — a one-sided Jacobi singular value decomposition, the
 //!   numerical core of the paper's noise-tensor approximation.
 //! * [`eig`] — a Jacobi eigensolver for Hermitian matrices, used to
 //!   validate density matrices and channels.

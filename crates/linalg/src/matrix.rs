@@ -262,7 +262,7 @@ impl Matrix {
         self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
     }
 
-    /// Spectral norm (largest singular value), computed via [`crate::svd`].
+    /// Spectral norm (largest singular value), computed via [`crate::svd()`].
     pub fn spectral_norm(&self) -> f64 {
         crate::svd(self)
             .singular_values

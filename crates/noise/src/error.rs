@@ -1,0 +1,163 @@
+//! The workspace-wide structured error type.
+//!
+//! [`QnsError`] is defined here — in the lowest crate every simulation
+//! entry point shares — and re-exported by `qns-core`, `qns-api` and
+//! the `qns` umbrella crate, so one error enum covers circuit
+//! validation, the approximation algorithm's guards, and the unified
+//! backend API.
+
+use std::fmt;
+
+/// Everything that can go wrong when building or running a simulation.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm,
+/// which lets future variants land without a breaking change.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq)]
+pub enum QnsError {
+    /// A state's qubit count (or vector length) disagrees with the
+    /// circuit it is used with.
+    SizeMismatch {
+        /// What was being checked, e.g. `"input state"`.
+        what: &'static str,
+        /// The qubit count the circuit requires.
+        expected: usize,
+        /// The qubit count actually supplied.
+        actual: usize,
+    },
+    /// An index (gate position, qubit, basis pattern) is out of range.
+    IndexOutOfRange {
+        /// What the index addresses, e.g. `"noise after_gate"`.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound it violated.
+        limit: usize,
+    },
+    /// A noise channel acts on more than one qubit.
+    NotSingleQubit {
+        /// The channel's Hilbert-space dimension (2 = single-qubit).
+        dim: usize,
+    },
+    /// The planned substitution-pattern count exceeds the
+    /// `ApproxOptions::max_terms` guard.
+    TermBudgetExceeded {
+        /// The approximation level that was requested.
+        level: usize,
+        /// Patterns the run would have evaluated.
+        planned: u128,
+        /// The configured guard.
+        max_terms: u128,
+    },
+    /// A problem size beyond a hard feasibility limit (for example the
+    /// `4^n`-element density reconstruction).
+    TooLarge {
+        /// What blew up, e.g. `"density reconstruction"`.
+        what: &'static str,
+        /// The requested size.
+        n: usize,
+        /// The inclusive limit.
+        limit: usize,
+    },
+    /// A request that is structurally invalid independent of any
+    /// backend (e.g. an empty batch, zero samples).
+    InvalidJob {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A job a particular backend cannot run (capability, not bug).
+    Unsupported {
+        /// The backend that declined.
+        backend: &'static str,
+        /// Why it declined.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QnsError::SizeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{what} size mismatch: circuit has {expected} qubits, state has {actual}"
+            ),
+            QnsError::IndexOutOfRange { what, index, limit } => {
+                write!(f, "{what} {index} out of range (limit {limit})")
+            }
+            QnsError::NotSingleQubit { dim } => {
+                write!(
+                    f,
+                    "noise channels must be single-qubit (got dimension {dim})"
+                )
+            }
+            QnsError::TermBudgetExceeded {
+                level,
+                planned,
+                max_terms,
+            } => write!(
+                f,
+                "level-{level} run needs {planned} patterns (> max_terms {max_terms}); \
+                 lower the level or raise the guard"
+            ),
+            QnsError::TooLarge { what, n, limit } => {
+                write!(
+                    f,
+                    "{what} is exponential; n = {n} exceeds the limit {limit}"
+                )
+            }
+            QnsError::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
+            QnsError::Unsupported { backend, reason } => {
+                write!(f, "backend `{backend}` cannot run this job: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QnsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_legacy_panic_substrings() {
+        // The panicking wrappers across the workspace format these
+        // errors, and several `#[should_panic(expected = ...)]` tests
+        // key on the historic substrings.
+        let e = QnsError::IndexOutOfRange {
+            what: "noise after_gate",
+            index: 99,
+            limit: 3,
+        };
+        assert!(e.to_string().contains("out of range"));
+
+        let e = QnsError::TermBudgetExceeded {
+            level: 10,
+            planned: 1000,
+            max_terms: 100,
+        };
+        assert!(e.to_string().contains("max_terms"));
+
+        let e = QnsError::SizeMismatch {
+            what: "input state",
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("size mismatch"));
+
+        let e = QnsError::NotSingleQubit { dim: 4 };
+        assert!(e.to_string().contains("single-qubit"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(QnsError::InvalidJob {
+            reason: "empty batch".into(),
+        });
+        assert!(e.to_string().contains("empty batch"));
+    }
+}

@@ -24,8 +24,10 @@
 //! ```
 
 pub mod channels;
+pub mod error;
 pub mod kraus;
 pub mod noisy;
 
+pub use error::QnsError;
 pub use kraus::Kraus;
 pub use noisy::{Element, NoiseEvent, NoisyCircuit};

@@ -7,7 +7,7 @@
 //! and the approximation algorithm) sees exactly the same noisy
 //! circuit.
 
-use crate::Kraus;
+use crate::{Kraus, QnsError};
 use qns_circuit::{Circuit, Operation};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -74,28 +74,46 @@ impl NoisyCircuit {
     /// # Panics
     ///
     /// Panics if an event references a gate index or qubit out of
-    /// range, or a channel that is not single-qubit.
-    pub fn new(circuit: Circuit, mut events: Vec<NoiseEvent>) -> Self {
+    /// range, or a channel that is not single-qubit. Use
+    /// [`NoisyCircuit::try_new`] for a non-panicking variant.
+    pub fn new(circuit: Circuit, events: Vec<NoiseEvent>) -> Self {
+        Self::try_new(circuit, events).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a noisy circuit with explicit noise events, validating
+    /// every event.
+    ///
+    /// # Errors
+    ///
+    /// [`QnsError::IndexOutOfRange`] if an event references a gate or
+    /// qubit beyond the circuit, [`QnsError::NotSingleQubit`] if a
+    /// channel is not single-qubit.
+    pub fn try_new(circuit: Circuit, mut events: Vec<NoiseEvent>) -> Result<Self, QnsError> {
         for e in &events {
-            assert!(
-                e.after_gate < circuit.gate_count(),
-                "noise after_gate {} out of range ({} gates)",
-                e.after_gate,
-                circuit.gate_count()
-            );
-            assert!(
-                e.qubit < circuit.n_qubits(),
-                "noise qubit {} out of range",
-                e.qubit
-            );
-            assert_eq!(e.kraus.dim(), 2, "noise channels must be single-qubit");
+            if e.after_gate >= circuit.gate_count() {
+                return Err(QnsError::IndexOutOfRange {
+                    what: "noise after_gate",
+                    index: e.after_gate,
+                    limit: circuit.gate_count(),
+                });
+            }
+            if e.qubit >= circuit.n_qubits() {
+                return Err(QnsError::IndexOutOfRange {
+                    what: "noise qubit",
+                    index: e.qubit,
+                    limit: circuit.n_qubits(),
+                });
+            }
+            if e.kraus.dim() != 2 {
+                return Err(QnsError::NotSingleQubit { dim: e.kraus.dim() });
+            }
         }
         events.sort_by_key(|e| e.after_gate);
-        NoisyCircuit {
+        Ok(NoisyCircuit {
             circuit,
             initial: Vec::new(),
             events,
-        }
+        })
     }
 
     /// Injects `count` copies of `channel` after uniformly random gates
@@ -132,16 +150,36 @@ impl NoisyCircuit {
     /// # Panics
     ///
     /// Panics if the qubit is out of range or the channel is not
-    /// single-qubit.
+    /// single-qubit. Use [`NoisyCircuit::try_push_initial`] for a
+    /// non-panicking variant.
     pub fn push_initial(&mut self, qubit: usize, kraus: Kraus) -> &mut Self {
-        assert!(qubit < self.circuit.n_qubits(), "qubit out of range");
-        assert_eq!(kraus.dim(), 2, "noise channels must be single-qubit");
+        self.try_push_initial(qubit, kraus)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a noise event applied before the first gate, validating it.
+    ///
+    /// # Errors
+    ///
+    /// [`QnsError::IndexOutOfRange`] for a bad qubit,
+    /// [`QnsError::NotSingleQubit`] for a multi-qubit channel.
+    pub fn try_push_initial(&mut self, qubit: usize, kraus: Kraus) -> Result<&mut Self, QnsError> {
+        if qubit >= self.circuit.n_qubits() {
+            return Err(QnsError::IndexOutOfRange {
+                what: "initial-noise qubit",
+                index: qubit,
+                limit: self.circuit.n_qubits(),
+            });
+        }
+        if kraus.dim() != 2 {
+            return Err(QnsError::NotSingleQubit { dim: kraus.dim() });
+        }
         self.initial.push(NoiseEvent {
             after_gate: 0,
             qubit,
             kraus,
         });
-        self
+        Ok(self)
     }
 
     /// The underlying circuit.
@@ -334,6 +372,56 @@ mod tests {
         let noisy = NoisyCircuit::new(c, events);
         let rate = noisy.max_noise_rate();
         assert!((rate - channels::depolarizing(1e-2).noise_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_new_reports_structured_errors() {
+        let bad_gate = NoisyCircuit::try_new(
+            ghz(3),
+            vec![NoiseEvent {
+                after_gate: 99,
+                qubit: 0,
+                kraus: channels::bit_flip(0.1),
+            }],
+        );
+        assert!(matches!(
+            bad_gate,
+            Err(QnsError::IndexOutOfRange {
+                what: "noise after_gate",
+                index: 99,
+                ..
+            })
+        ));
+
+        let bad_qubit = NoisyCircuit::try_new(
+            ghz(3),
+            vec![NoiseEvent {
+                after_gate: 0,
+                qubit: 7,
+                kraus: channels::bit_flip(0.1),
+            }],
+        );
+        assert!(matches!(
+            bad_qubit,
+            Err(QnsError::IndexOutOfRange {
+                what: "noise qubit",
+                ..
+            })
+        ));
+
+        let ok = NoisyCircuit::try_new(ghz(3), Vec::new());
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn try_push_initial_validates_qubit() {
+        let mut noisy = NoisyCircuit::noiseless(ghz(3));
+        let err = noisy
+            .try_push_initial(9, channels::bit_flip(0.1))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, QnsError::IndexOutOfRange { .. }));
+        assert_eq!(noisy.noise_count(), 0);
     }
 
     #[test]

@@ -6,14 +6,29 @@
 //! after a specific gate. For every candidate defect location we use
 //! the level-1 approximation to compute how much the defect shifts the
 //! output statistics for each candidate test input, and report the
-//! best (input, measurement) test pattern per location.
+//! best (input, measurement) test pattern per location. The pattern
+//! pool is evaluated through `run_batch` — the facade's many-jobs
+//! entry point, which is exactly the shape an ATPG service would call.
 //!
 //! Run with: `cargo run --release --example fault_detection`
 
 use qns::circuit::generators::{qaoa_ring, QaoaRound};
-use qns::core::approx::{approximate_expectation, ApproxOptions};
-use qns::noise::{channels, NoiseEvent, NoisyCircuit};
-use qns::tnet::builder::ProductState;
+use qns::noise::NoiseEvent;
+use qns::prelude::*;
+
+/// One job per test pattern: prepare `|bits⟩`, measure `|bits⟩⟨bits|`.
+fn jobs_for<'a>(noisy: &'a NoisyCircuit, patterns: &[usize]) -> Vec<ExpectationJob<'a>> {
+    patterns
+        .iter()
+        .map(|&bits| {
+            Simulation::new(noisy)
+                .initial_basis(bits)
+                .observable_basis(bits)
+                .build()
+                .expect("valid job")
+        })
+        .collect()
+}
 
 fn main() {
     let rounds = [QaoaRound {
@@ -34,10 +49,13 @@ fn main() {
     println!("defect channel rate = {:.3e}\n", defect.noise_rate());
 
     let suspects: Vec<usize> = (0..circuit.gate_count()).step_by(7).collect();
-    let opts = ApproxOptions {
-        level: 1,
-        ..Default::default()
-    };
+    let backend = ApproxBackend::level(1);
+    let patterns: Vec<usize> = (0..(1usize << n.min(5))).collect();
+
+    // The defect-free reference statistics are location-independent:
+    // one batch, evaluated before the location scan.
+    let clean = NoisyCircuit::noiseless(circuit.clone());
+    let c_runs = run_batch(&backend, &jobs_for(&clean, &patterns));
 
     println!(
         "{:>12} {:>10} {:>12} {:>14}",
@@ -53,21 +71,20 @@ fn main() {
                 kraus: defect.clone(),
             }],
         );
-        let clean = NoisyCircuit::noiseless(circuit.clone());
 
         // Scan a pool of candidate test patterns: basis inputs, with the
         // measurement fixed to the same basis state (a simple
         // pass/fail test: "does the device return the input pattern's
-        // ideal statistics?").
+        // ideal statistics?"). One batch per suspect location.
+        let f_runs = run_batch(&backend, &jobs_for(&faulty, &patterns));
+
         let mut best = (0usize, 0.0f64);
-        for pattern in 0..(1usize << n.min(5)) {
-            let input = ProductState::basis(n, pattern);
-            let probe = ProductState::basis(n, pattern);
-            let f_fault = approximate_expectation(&faulty, &input, &probe, &opts).value;
-            let f_clean = approximate_expectation(&clean, &input, &probe, &opts).value;
+        for ((&bits, f), c) in patterns.iter().zip(&f_runs).zip(&c_runs) {
+            let f_fault = f.as_ref().expect("batch entry").value;
+            let f_clean = c.as_ref().expect("batch entry").value;
             let separation = (f_fault - f_clean).abs();
             if separation > best.1 {
-                best = (pattern, separation);
+                best = (bits, separation);
             }
         }
         println!(

@@ -5,16 +5,17 @@
 //! realistic superconducting decoherence) on a laptop-sized grid.
 //! For each noise count the example reports the exact fidelity against
 //! the ideal output, the level-1 approximation, its error, and the
-//! Theorem-1 bound.
+//! Theorem-1 bound. The fidelity `⟨U0|E(ρ)|U0⟩` becomes a
+//! facade-shaped product job via the ideal-inverse rewriting, after
+//! which the exact reference and the approximation are just two
+//! `Backend`s answering the same `ExpectationJob`.
 //!
 //! Run with: `cargo run --release --example qaoa_noise_study`
 
 use qns::circuit::generators::{qaoa_grid, QaoaRound};
-use qns::core::approx::{append_ideal_inverse, approximate_expectation, ApproxOptions};
+use qns::core::approx::append_ideal_inverse;
 use qns::core::bounds;
-use qns::noise::{channels, NoisyCircuit};
-use qns::sim::{density, statevector};
-use qns::tnet::builder::ProductState;
+use qns::prelude::*;
 use std::time::Instant;
 
 fn main() {
@@ -23,7 +24,6 @@ fn main() {
         beta: 0.22,
     }];
     let circuit = qaoa_grid(2, 3, &rounds); // 6-qubit grid QAOA
-    let n = circuit.n_qubits();
     println!(
         "QAOA on a 2×3 grid: {} gates, depth {}",
         circuit.gate_count(),
@@ -34,9 +34,6 @@ fn main() {
     let channel = channels::thermal_relaxation(25.0, 35.0, 50.0);
     let p = channel.noise_rate();
     println!("channel: thermal relaxation, rate p = {p:.3e}\n");
-
-    // Fidelity target: the ideal (noiseless) output state.
-    let ideal = statevector::run(&circuit, &statevector::zero_state(n));
 
     println!(
         "{:>7} {:>14} {:>14} {:>11} {:>11} {:>9}",
@@ -49,20 +46,18 @@ fn main() {
             n_noises,
             1000 + n_noises as u64,
         );
-
-        let exact = density::expectation(&noisy, &statevector::zero_state(n), &ideal);
-
         let extended = append_ideal_inverse(&noisy);
+        let job = Simulation::new(&extended).build().expect("valid job");
+
+        let exact = DensityBackend::new()
+            .expectation(&job)
+            .expect("dense run")
+            .value;
+
         let start = Instant::now();
-        let res = approximate_expectation(
-            &extended,
-            &ProductState::all_zeros(n),
-            &ProductState::all_zeros(n),
-            &ApproxOptions {
-                level: 1,
-                ..Default::default()
-            },
-        );
+        let res = ApproxBackend::level(1)
+            .expectation(&job)
+            .expect("level-1 run");
         let dt = start.elapsed().as_secs_f64();
 
         println!(
@@ -78,30 +73,28 @@ fn main() {
 
     println!("\nLevel sweep at 6 noises (cost/accuracy trade-off, Table IV flavour):");
     let noisy = NoisyCircuit::inject_random(circuit.clone(), &channel, 6, 2024);
-    let exact = density::expectation(&noisy, &statevector::zero_state(n), &ideal);
     let extended = append_ideal_inverse(&noisy);
+    let job = Simulation::new(&extended).build().expect("valid job");
+    let exact = DensityBackend::new()
+        .expectation(&job)
+        .expect("dense run")
+        .value;
     println!(
         "{:>6} {:>14} {:>11} {:>13} {:>9}",
         "level", "A(l)", "error", "contractions", "time"
     );
     for level in 0..=3 {
         let start = Instant::now();
-        let res = approximate_expectation(
-            &extended,
-            &ProductState::all_zeros(n),
-            &ProductState::all_zeros(n),
-            &ApproxOptions {
-                level,
-                ..Default::default()
-            },
-        );
+        let res = ApproxBackend::level(level)
+            .expectation(&job)
+            .expect("level run");
         let dt = start.elapsed().as_secs_f64();
         println!(
             "{:>6} {:>14.9} {:>11.2e} {:>13} {:>8.2}s",
             level,
             res.value,
             (res.value - exact).abs(),
-            res.contractions,
+            bounds::contraction_count(6, level),
             dt,
         );
     }

@@ -1,22 +1,24 @@
-//! Quickstart: simulate a noisy GHZ circuit four ways.
+//! Quickstart: simulate a noisy GHZ circuit on all six engines through
+//! the unified `Backend` trait.
 //!
 //! Demonstrates the workspace end to end: build a circuit, inject
-//! realistic superconducting noise, and estimate the fidelity
-//! `⟨v|E(|0…0⟩⟨0…0|)|v⟩` with
+//! realistic superconducting noise, phrase the fidelity
+//! `⟨v|E(|0…0⟩⟨0…0|)|v⟩` as one `ExpectationJob`, and run the *same*
+//! job on
 //!
 //! 1. exact density-matrix simulation (MM-based baseline),
 //! 2. the decision-diagram baseline,
-//! 3. quantum trajectories (sampling baseline),
-//! 4. the paper's SVD approximation at levels 0, 1, 2.
+//! 3. exact tensor-network contraction,
+//! 4. the MPO engine,
+//! 5. quantum trajectories (sampling baseline),
+//! 6. the paper's SVD approximation at levels 0, 1, 2.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use qns::circuit::generators::ghz;
-use qns::core::approx::{approximate_expectation, ApproxOptions};
+use qns::core::approx::append_ideal_inverse;
 use qns::core::bounds;
-use qns::noise::{channels, NoisyCircuit};
-use qns::sim::{density, statevector, trajectory};
-use qns::tnet::builder::ProductState;
+use qns::prelude::*;
 
 fn main() {
     let n = 5;
@@ -32,58 +34,56 @@ fn main() {
     let noisy = NoisyCircuit::inject_random(ghz(n), &channel, n_noises, 42);
     println!("{noisy}");
 
-    let psi = statevector::zero_state(n);
-    let v = statevector::ghz_state(n);
+    // The GHZ target |v⟩ is entangled, so rewrite via the ideal-inverse
+    // trick: append C† and test against |0…0⟩. One product-shaped job
+    // then serves every engine.
+    let extended = append_ideal_inverse(&noisy);
+    let job = Simulation::new(&extended)
+        .initial(InitialState::zeros(n))
+        .observable(Observable::zeros(n))
+        .build()
+        .expect("valid job");
 
-    // 1. Exact (MM-based).
-    let exact = density::expectation(&noisy, &psi, &v);
-    println!("exact (density matrix) : {exact:.9}");
+    // 1–4: the deterministic engines, one trait call each.
+    let density = DensityBackend::new();
+    let tdd = TddBackend::new();
+    let tnet = TnetBackend::new();
+    let mpo = MpoBackend::max_bond(64);
+    let backends: Vec<&dyn Backend> = vec![&density, &tdd, &tnet, &mpo];
+    let mut exact = f64::NAN;
+    for result in compare_backends(&backends, &job) {
+        let est = result.expect("engines feasible at this size");
+        println!("{:<12}: {:.9}", est.backend, est.value);
+        if est.backend == "density" {
+            exact = est.value;
+        }
+    }
 
-    // 2. Decision diagrams.
-    let ghz_factors: Vec<[qns::linalg::Complex64; 2]> = {
-        // GHZ is not a product state; use the computational projector
-        // |0…0⟩ for the DD demo instead.
-        qns::tdd::simulator::zeros(n)
-    };
-    let dd = qns::tdd::expectation(&noisy, &qns::tdd::simulator::zeros(n), &ghz_factors);
-    println!("decision diagram ⟨0…0|ρ|0…0⟩ : {dd:.9}");
-
-    // 3. Quantum trajectories.
-    let est = trajectory::estimate(
-        &noisy,
-        &psi,
-        &v,
-        2000,
-        trajectory::SamplingStrategy::General,
-        7,
-    );
+    // 5: quantum trajectories — same job, statistical answer.
+    let est = TrajectoryBackend::samples(2000)
+        .with_seed(7)
+        .expectation(&job)
+        .expect("trajectory run");
     println!(
-        "trajectories (2000 samples) : {:.9} ± {:.1e}",
-        est.mean, est.std_error
+        "{:<12}: {:.9} ± {:.1e} (2000 samples)",
+        est.backend,
+        est.value,
+        est.std_error
+            .expect("sampling backends report an error bar")
     );
 
-    // 4. The paper's approximation. GHZ |v⟩ is entangled, so use the
-    //    ideal-inverse trick: append C† and test against |0…0⟩.
-    let extended = qns::core::approx::append_ideal_inverse(&noisy);
-    let p_in = ProductState::all_zeros(n);
-    let p_v = ProductState::all_zeros(n);
+    // 6: the paper's approximation, level by level.
     let p = noisy.max_noise_rate();
     for level in 0..=2 {
-        let res = approximate_expectation(
-            &extended,
-            &p_in,
-            &p_v,
-            &ApproxOptions {
-                level,
-                ..Default::default()
-            },
-        );
+        let est = ApproxBackend::level(level)
+            .expectation(&job)
+            .expect("approximation run");
         println!(
-            "approximation level {level}   : {:.9}  (error {:.2e}, bound {:.2e}, {} contractions)",
-            res.value,
-            (res.value - exact).abs(),
+            "approx l={level}   : {:.9}  (error {:.2e}, bound {:.2e}, {} contractions)",
+            est.value,
+            (est.value - exact).abs(),
             bounds::error_bound(n_noises, p, level),
-            res.contractions,
+            bounds::contraction_count(n_noises, level),
         );
     }
 }

@@ -4,16 +4,14 @@
 //! On `inst_RxC_D` random circuits the double-size network's
 //! contraction cost grows quickly with the number of noise bridges,
 //! while the level-1 approximation's cost is linear in the noise
-//! count. This example prints both costs side by side.
+//! count. Both engines are driven through the unified `Backend` trait
+//! on the same `ExpectationJob`; this example prints both costs side
+//! by side.
 //!
 //! Run with: `cargo run --release --example supremacy_scan`
 
 use qns::circuit::generators::inst_grid;
-use qns::core::approx::{approximate_expectation, ApproxOptions};
-use qns::noise::{channels, NoisyCircuit};
-use qns::tnet::builder::ProductState;
-use qns::tnet::network::OrderStrategy;
-use qns::tnet::simulator;
+use qns::prelude::*;
 use std::time::Instant;
 
 fn main() {
@@ -27,8 +25,6 @@ fn main() {
         circuit.depth()
     );
     let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
-    let psi = ProductState::all_zeros(n);
-    let v = ProductState::all_zeros(n);
 
     println!(
         "\n{:>7} {:>12} {:>13} {:>12} {:>13} {:>11}",
@@ -40,31 +36,26 @@ fn main() {
         } else {
             NoisyCircuit::inject_random(circuit.clone(), &channel, n_noises, 500 + n_noises as u64)
         };
+        let job = Simulation::new(&noisy).build().expect("valid job");
 
         let t0 = Instant::now();
-        let tn = simulator::expectation(&noisy, &psi, &v, OrderStrategy::Greedy);
+        let tn = TnetBackend::new().expectation(&job).expect("TN run");
         let tn_time = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let ours = approximate_expectation(
-            &noisy,
-            &psi,
-            &v,
-            &ApproxOptions {
-                level: 1,
-                ..Default::default()
-            },
-        );
+        let ours = ApproxBackend::level(1)
+            .expectation(&job)
+            .expect("level-1 run");
         let ours_time = t1.elapsed().as_secs_f64();
 
         println!(
             "{:>7} {:>12.6e} {:>12.3}s {:>12.6e} {:>12.3}s {:>11.2e}",
             n_noises,
-            tn,
+            tn.value,
             tn_time,
             ours.value,
             ours_time,
-            (tn - ours.value).abs(),
+            (tn.value - ours.value).abs(),
         );
     }
 

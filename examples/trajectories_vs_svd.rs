@@ -3,16 +3,15 @@
 //! Reproduces the flavour of the paper's Table III: fix a noisy QAOA
 //! circuit with depolarizing noise (p = 0.001, 8 noises), measure the
 //! level-1 approximation's precision, then give the trajectories
-//! method a matched sample budget and compare precision and runtime.
+//! method a matched sample budget and compare precision and runtime —
+//! both engines driven through the same `ExpectationJob`.
 //!
 //! Run with: `cargo run --release --example trajectories_vs_svd`
 
 use qns::circuit::generators::{qaoa_ring, QaoaRound};
-use qns::core::approx::{approximate_expectation, ApproxOptions};
 use qns::core::bounds;
-use qns::noise::{channels, NoisyCircuit};
-use qns::sim::{density, statevector, trajectory};
-use qns::tnet::builder::ProductState;
+use qns::prelude::*;
+use qns::sim::trajectory;
 use std::time::Instant;
 
 fn main() {
@@ -30,26 +29,18 @@ fn main() {
     for n in [4usize, 6, 8] {
         let circuit = qaoa_ring(n, &rounds);
         let noisy = NoisyCircuit::inject_random(circuit, &channels::depolarizing(p), n_noises, 77);
-        let psi = ProductState::all_zeros(n);
-        let v = ProductState::all_zeros(n);
+        let job = Simulation::new(&noisy).build().expect("valid job");
 
-        let exact = density::expectation(
-            &noisy,
-            &statevector::zero_state(n),
-            &statevector::basis_state(n, 0),
-        );
+        let exact = DensityBackend::new()
+            .expectation(&job)
+            .expect("dense feasible at these sizes")
+            .value;
 
-        // Ours: level-1.
+        // Ours: level-1, through the facade.
         let t0 = Instant::now();
-        let ours = approximate_expectation(
-            &noisy,
-            &psi,
-            &v,
-            &ApproxOptions {
-                level: 1,
-                ..Default::default()
-            },
-        );
+        let ours = ApproxBackend::level(1)
+            .expectation(&job)
+            .expect("level-1 run");
         let ours_time = t0.elapsed().as_secs_f64();
         let ours_err = (ours.value - exact).abs();
 
@@ -57,16 +48,12 @@ fn main() {
         // via the Hoeffding planner (capped to keep the example fast).
         let samples = trajectory::required_samples(ours_err.max(1e-6), 0.99).min(20_000);
         let t1 = Instant::now();
-        let est = trajectory::estimate(
-            &noisy,
-            &statevector::zero_state(n),
-            &statevector::basis_state(n, 0),
-            samples,
-            trajectory::SamplingStrategy::MixedUnitaryFastPath,
-            13,
-        );
+        let est = TrajectoryBackend::samples(samples)
+            .with_seed(13)
+            .expectation(&job)
+            .expect("trajectory run");
         let traj_time = t1.elapsed().as_secs_f64();
-        let traj_err = (est.mean - exact).abs();
+        let traj_err = (est.value - exact).abs();
 
         println!(
             "{:>8} {:>12.2e} {:>12.2e} {:>10} {:>11.3}s {:>11.3}s {:>10}",

@@ -6,6 +6,10 @@
 //! crate exists so that examples, integration tests and downstream users
 //! can depend on a single package.
 //!
+//! The recommended entry point is the unified [`api`] facade: build an
+//! [`api::ExpectationJob`] once and run it on any of the six engines
+//! through the [`api::Backend`] trait.
+//!
 //! # Example
 //!
 //! ```
@@ -13,15 +17,15 @@
 //!
 //! let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
 //! let noisy = NoisyCircuit::inject_random(generators::ghz(4), &channel, 2, 7);
-//! let res = approximate_expectation(
-//!     &noisy,
-//!     &ProductState::all_zeros(4),
-//!     &ProductState::all_zeros(4),
-//!     &ApproxOptions::default(),
-//! );
-//! assert!((res.value - 0.5).abs() < 0.01);
+//! let est = Simulation::new(&noisy)
+//!     .initial(InitialState::zeros(4))
+//!     .observable(Observable::zeros(4))
+//!     .run_on(&ApproxBackend::level(2))?; // level = noise count ⇒ exact
+//! assert!((est.value - 0.5).abs() < 0.01);
+//! # Ok::<(), QnsError>(())
 //! ```
 
+pub use qns_api as api;
 pub use qns_circuit as circuit;
 pub use qns_core as core;
 pub use qns_linalg as linalg;
@@ -34,9 +38,15 @@ pub use qns_tnet as tnet;
 
 /// The items most programs need, in one import.
 pub mod prelude {
+    pub use qns_api::{
+        compare_backends, run_batch, ApproxBackend, Backend, DensityBackend, Estimate,
+        ExpectationJob, InitialState, MpoBackend, Observable, QnsError, Simulation, TddBackend,
+        TnetBackend, TrajectoryBackend,
+    };
     pub use qns_circuit::{generators, Circuit, Gate, Operation};
     pub use qns_core::{
-        approximate_expectation, error_bound, simulate_auto, ApproxOptions, NoiseSvd,
+        approximate_expectation, error_bound, simulate_auto, try_approximate_expectation,
+        ApproxOptions, NoiseSvd,
     };
     pub use qns_linalg::{Complex64, Matrix};
     pub use qns_noise::{channels, Kraus, NoisyCircuit};

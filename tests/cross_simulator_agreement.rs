@@ -1,62 +1,53 @@
 //! Cross-simulator agreement: every engine in the workspace must
 //! produce the same `⟨v|E_N(|ψ⟩⟨ψ|)|v⟩` on the same noisy circuit.
 //!
-//! This is the load-bearing integration test: MM-based density
-//! matrices, decision diagrams, tensor-network contraction, the
-//! full-level (exact) SVD approximation, and quantum trajectories all
-//! agree within their respective tolerances.
+//! This is the load-bearing integration test, now phrased entirely
+//! through the unified `Backend` trait: one `ExpectationJob` per
+//! configuration, evaluated by MM-based density matrices, decision
+//! diagrams, tensor-network contraction, the MPO engine, the
+//! full-level (exact) SVD approximation, and quantum trajectories —
+//! all agreeing within their respective tolerances.
 
 use qns::circuit::generators::{ghz, hf_vqe, inst_grid, qaoa_ring, qft, QaoaRound};
 use qns::circuit::Circuit;
-use qns::core::approx::{approximate_expectation, ApproxOptions};
 use qns::noise::{channels, Kraus, NoisyCircuit};
-use qns::sim::{density, statevector, trajectory};
+use qns::prelude::{
+    compare_backends, ApproxBackend, Backend, DensityBackend, MpoBackend, Simulation, TddBackend,
+    TnetBackend, TrajectoryBackend,
+};
+use qns::sim::{density, statevector};
 use qns::tnet::builder::ProductState;
 use qns::tnet::network::OrderStrategy;
 use qns::tnet::simulator as tn;
 
-/// All engines on one configuration; asserts pairwise agreement.
+/// All deterministic engines on one configuration through the single
+/// `Backend` trait; asserts agreement with the dense density-matrix
+/// result within each backend's declared tolerance.
 fn check_all_engines(noisy: &NoisyCircuit, v_bits: usize, label: &str) {
-    let n = noisy.n_qubits();
-    let n_noises = noisy.noise_count();
+    let job = Simulation::new(noisy)
+        .observable_basis(v_bits)
+        .build()
+        .expect("valid job");
 
-    let psi_sv = statevector::zero_state(n);
-    let v_sv = statevector::basis_state(n, v_bits);
-    let mm = density::expectation(noisy, &psi_sv, &v_sv);
+    let reference = DensityBackend::new()
+        .expectation(&job)
+        .expect("dense reference feasible at test sizes");
 
-    let dd = qns::tdd::expectation(
-        noisy,
-        &qns::tdd::simulator::zeros(n),
-        &qns::tdd::simulator::basis(n, v_bits),
-    );
-    assert!((mm - dd).abs() < 1e-9, "{label}: MM {mm} vs TDD {dd}");
-
-    let psi = ProductState::all_zeros(n);
-    let v = ProductState::basis(n, v_bits);
-    let tn_val = tn::expectation(noisy, &psi, &v, OrderStrategy::Greedy);
-    assert!(
-        (mm - tn_val).abs() < 1e-9,
-        "{label}: MM {mm} vs TN {tn_val}"
-    );
-
-    let exact_approx = approximate_expectation(
-        noisy,
-        &psi,
-        &v,
-        &ApproxOptions {
-            level: n_noises, // full level = exact
-            ..Default::default()
-        },
-    );
-    assert!(
-        (mm - exact_approx.value).abs() < 1e-9,
-        "{label}: MM {mm} vs full-level approx {}",
-        exact_approx.value
-    );
-
-    // MPO with a generous bond cap is exact at these sizes.
-    let mpo = qns::mpo::state::expectation(noisy, v_bits, 64);
-    assert!((mm - mpo).abs() < 1e-8, "{label}: MM {mm} vs MPO {mpo}");
+    let tdd = TddBackend::new();
+    let tnet = TnetBackend::new();
+    let mpo = MpoBackend::max_bond(64);
+    let approx = ApproxBackend::exact_for(noisy); // full level = exact
+    let backends: Vec<&dyn Backend> = vec![&tdd, &tnet, &mpo, &approx];
+    for (backend, result) in backends.iter().zip(compare_backends(&backends, &job)) {
+        let est = result.unwrap_or_else(|e| panic!("{label}/{}: {e}", backend.name()));
+        assert!(
+            (est.value - reference.value).abs() < backend.tolerance(),
+            "{label}: MM {} vs {} {}",
+            reference.value,
+            est.backend,
+            est.value
+        );
+    }
 }
 
 fn channel_zoo() -> Vec<(&'static str, Kraus)> {
@@ -143,26 +134,51 @@ fn agreement_with_multiple_channel_kinds_in_one_circuit() {
 #[test]
 fn trajectories_agree_within_statistics() {
     let noisy = NoisyCircuit::inject_random(ghz(4), &channels::depolarizing(0.1), 4, 3);
+
+    // The trajectory engine through the facade, on a product observable.
+    let job = Simulation::new(&noisy).build().expect("valid job");
+    let exact0 = DensityBackend::new().expectation(&job).unwrap().value;
+    for strategy in [
+        qns::sim::trajectory::SamplingStrategy::General,
+        qns::sim::trajectory::SamplingStrategy::MixedUnitaryFastPath,
+    ] {
+        let est = TrajectoryBackend::samples(6000)
+            .with_strategy(strategy)
+            .with_seed(9)
+            .expectation(&job)
+            .unwrap();
+        let se = est
+            .std_error
+            .expect("sampling backend reports an error bar");
+        assert!(
+            (est.value - exact0).abs() < 5.0 * se.max(1e-3),
+            "{strategy:?}: {} vs exact {exact0}",
+            est.value
+        );
+    }
+
+    // A non-product GHZ observable still works against the raw engine
+    // (the facade is deliberately product-only).
     let psi = statevector::zero_state(4);
     let v = statevector::ghz_state(4);
     let exact = density::expectation(&noisy, &psi, &v);
-
-    for strategy in [
-        trajectory::SamplingStrategy::General,
-        trajectory::SamplingStrategy::MixedUnitaryFastPath,
-    ] {
-        let est = trajectory::estimate(&noisy, &psi, &v, 6000, strategy, 9);
-        assert!(
-            (est.mean - exact).abs() < 5.0 * est.std_error.max(1e-3),
-            "{strategy:?}: {} vs exact {exact}",
-            est.mean
-        );
-    }
+    let est = qns::sim::trajectory::estimate(
+        &noisy,
+        &psi,
+        &v,
+        6000,
+        qns::sim::trajectory::SamplingStrategy::General,
+        9,
+    );
+    assert!(
+        (est.mean - exact).abs() < 5.0 * est.std_error.max(1e-3),
+        "ghz observable: {} vs exact {exact}",
+        est.mean
+    );
 
     // TN trajectories too.
     let p = ProductState::all_zeros(4);
     let vtn = ProductState::basis(4, 0);
-    let exact0 = density::expectation(&noisy, &psi, &statevector::basis_state(4, 0));
     let est = tn::trajectory_estimate(&noisy, &p, &vtn, 3000, OrderStrategy::Greedy, 11);
     assert!(
         (est.mean - exact0).abs() < 5.0 * est.std_error.max(2e-3),

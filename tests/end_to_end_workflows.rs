@@ -1,10 +1,12 @@
 //! End-to-end workflow tests: the tasks a downstream user actually
-//! performs, composed across crates.
+//! performs, composed across crates and phrased through the unified
+//! `qns::api` facade where the job is a product-state expectation.
 
 use qns::circuit::generators::{qaoa_grid, qaoa_ring, QaoaRound};
 use qns::core::approx::{append_ideal_inverse, approximate_expectation, ApproxOptions};
 use qns::core::bounds;
 use qns::noise::{channels, NoisyCircuit};
+use qns::prelude::{ApproxBackend, Backend, DensityBackend, Simulation, TrajectoryBackend};
 use qns::sim::{density, statevector, trajectory};
 use qns::tnet::builder::ProductState;
 
@@ -18,7 +20,7 @@ fn round() -> [QaoaRound; 1] {
 #[test]
 fn fidelity_study_workflow() {
     // The Table IV workflow: fidelity of the noisy circuit against its
-    // ideal output, estimated at increasing levels.
+    // ideal output, estimated at increasing levels through the facade.
     let c = qaoa_ring(4, &round());
     let noisy = NoisyCircuit::inject_random(
         c.clone(),
@@ -30,22 +32,16 @@ fn fidelity_study_workflow() {
     let ideal = statevector::run(&c, &statevector::zero_state(4));
     let exact = density::expectation(&noisy, &statevector::zero_state(4), &ideal);
 
+    // |v⟩ = U|0…0⟩ is not a product state: rewrite via the
+    // ideal-inverse trick, then everything is facade-shaped.
     let extended = append_ideal_inverse(&noisy);
-    let psi = ProductState::all_zeros(4);
-    let v = ProductState::all_zeros(4);
 
     let mut last_err = f64::INFINITY;
     for level in 0..=3 {
-        let res = approximate_expectation(
-            &extended,
-            &psi,
-            &v,
-            &ApproxOptions {
-                level,
-                ..Default::default()
-            },
-        );
-        let err = (res.value - exact).abs();
+        let est = Simulation::new(&extended)
+            .run_on(&ApproxBackend::level(level))
+            .expect("product job on the approximation backend");
+        let err = (est.value - exact).abs();
         assert!(
             err <= last_err * 2.0 + 1e-12,
             "error should trend down with level: {err} after {last_err}"
@@ -57,30 +53,18 @@ fn fidelity_study_workflow() {
 
 #[test]
 fn noise_rate_sweep_workflow() {
-    // The Fig. 6 workflow: fixed fault pattern, swept channel strength.
+    // The Fig. 6 workflow: fixed fault pattern, swept channel strength,
+    // exact reference and approximation both through the Backend trait.
     let c = qaoa_ring(4, &round());
     let pattern = NoisyCircuit::inject_random(c, &channels::depolarizing(1e-3), 4, 11);
-    let psi = ProductState::all_zeros(4);
-    let v = ProductState::basis(4, 0);
 
     let mut errors = Vec::new();
     for p in [1e-4, 1e-3, 5e-3, 1e-2] {
         let noisy = pattern.with_channel(&channels::depolarizing(p));
-        let exact = density::expectation(
-            &noisy,
-            &statevector::zero_state(4),
-            &statevector::basis_state(4, 0),
-        );
-        let res = approximate_expectation(
-            &noisy,
-            &psi,
-            &v,
-            &ApproxOptions {
-                level: 1,
-                ..Default::default()
-            },
-        );
-        errors.push((res.value - exact).abs());
+        let job = Simulation::new(&noisy).build().expect("valid job");
+        let exact = DensityBackend::new().expectation(&job).unwrap().value;
+        let approx = ApproxBackend::level(1).expectation(&job).unwrap().value;
+        errors.push((approx - exact).abs());
     }
     // Error grows with the noise rate (Fig. 6's monotone trend).
     for w in errors.windows(2) {
@@ -105,77 +89,77 @@ fn sample_budget_planning_workflow() {
     // And the chosen method actually achieves its promised accuracy.
     let c = qaoa_ring(4, &round());
     let noisy = NoisyCircuit::inject_random(c, &channels::depolarizing(p), n_noises, 5);
-    let exact = density::expectation(
-        &noisy,
-        &statevector::zero_state(4),
-        &statevector::basis_state(4, 0),
-    );
-    let res = approximate_expectation(
-        &noisy,
-        &ProductState::all_zeros(4),
-        &ProductState::basis(4, 0),
-        &ApproxOptions {
-            level: 1,
-            ..Default::default()
-        },
-    );
+    let job = Simulation::new(&noisy).build().expect("valid job");
+    let exact = DensityBackend::new().expectation(&job).unwrap().value;
+    let est = ApproxBackend::level(1).expectation(&job).unwrap();
     let bound = bounds::error_bound(n_noises, noisy.max_noise_rate(), 1);
-    assert!((res.value - exact).abs() <= bound + 1e-12);
+    assert!((est.value - exact).abs() <= bound + 1e-12);
 }
 
 #[test]
 fn trajectory_budgeting_matches_planner() {
-    // Plan samples for a 1e-2 target, run, and verify the error.
+    // Plan samples for a 1e-2 target, run through the facade, verify.
     let noisy =
         NoisyCircuit::inject_random(qaoa_ring(4, &round()), &channels::depolarizing(0.05), 3, 23);
-    let psi = statevector::zero_state(4);
-    let v = statevector::basis_state(4, 0);
-    let exact = density::expectation(&noisy, &psi, &v);
+    let job = Simulation::new(&noisy).build().expect("valid job");
+    let exact = DensityBackend::new().expectation(&job).unwrap().value;
 
     let target = 1e-2;
     let samples = trajectory::required_samples(target, 0.99);
-    let est = trajectory::estimate(
-        &noisy,
-        &psi,
-        &v,
-        samples.min(30_000),
-        trajectory::SamplingStrategy::MixedUnitaryFastPath,
-        3,
+    let est = TrajectoryBackend::samples(samples.min(30_000))
+        .with_seed(3)
+        .expectation(&job)
+        .unwrap();
+    assert!(
+        (est.value - exact).abs() < target,
+        "planned budget missed target: {} vs {exact}",
+        est.value
     );
     assert!(
-        (est.mean - exact).abs() < target,
-        "planned budget missed target: {} vs {exact}",
-        est.mean
+        est.std_error.is_some(),
+        "sampling backends carry error bars"
     );
 }
 
 #[test]
 fn grid_qaoa_scales_in_qubits_without_density_matrix() {
     // Beyond density-matrix reach (here artificially low), the
-    // approximation still runs: 12-qubit grid QAOA, level 1.
+    // approximation still runs: 12-qubit grid QAOA, level 1. The dense
+    // backend itself reports the infeasibility as a structured error.
     let c = qaoa_grid(3, 4, &round());
     let n = c.n_qubits();
     let noisy =
         NoisyCircuit::inject_random(c, &channels::thermal_relaxation(30.0, 40.0, 25.0), 6, 2);
-    // Fidelity against the ideal output via the inverse trick: with
-    // this weak noise the noisy circuit stays close to ideal.
     let extended = append_ideal_inverse(&noisy);
+    let job = Simulation::new(&extended).build().expect("valid job");
+
+    let declined = DensityBackend::new().with_max_qubits(8).expectation(&job);
+    assert!(matches!(
+        declined,
+        Err(qns::prelude::QnsError::Unsupported {
+            backend: "density",
+            ..
+        })
+    ));
+
+    let est = ApproxBackend::level(1).expectation(&job).unwrap();
+    assert!(est.value.is_finite());
+    assert!(
+        est.value > 0.9 && est.value <= 1.0 + 1e-6,
+        "value {} on {n} qubits",
+        est.value
+    );
+
+    // The facade does not hide the cost model: the raw result still
+    // reports the 2(1+3N) contraction count.
     let res = approximate_expectation(
         &extended,
         &ProductState::all_zeros(n),
         &ProductState::all_zeros(n),
-        &ApproxOptions {
-            level: 1,
-            ..Default::default()
-        },
-    );
-    assert!(res.value.is_finite());
-    assert!(
-        res.value > 0.9 && res.value <= 1.0 + 1e-6,
-        "value {}",
-        res.value
+        &ApproxOptions::default().with_level(1),
     );
     assert_eq!(res.contractions, 2 * (1 + 3 * 6));
+    assert_eq!(res.value, est.value);
 }
 
 #[test]
@@ -188,24 +172,8 @@ fn per_level_decomposition_is_consistent() {
     );
     let psi = ProductState::all_zeros(4);
     let v = ProductState::basis(4, 0);
-    let l2 = approximate_expectation(
-        &noisy,
-        &psi,
-        &v,
-        &ApproxOptions {
-            level: 2,
-            ..Default::default()
-        },
-    );
-    let l1 = approximate_expectation(
-        &noisy,
-        &psi,
-        &v,
-        &ApproxOptions {
-            level: 1,
-            ..Default::default()
-        },
-    );
+    let l2 = approximate_expectation(&noisy, &psi, &v, &ApproxOptions::default().with_level(2));
+    let l1 = approximate_expectation(&noisy, &psi, &v, &ApproxOptions::default().with_level(1));
     // A(2) = A(1) + T_2 and the shared prefixes agree exactly.
     assert!((l2.per_level[0] - l1.per_level[0]).abs() < 1e-14);
     assert!((l2.per_level[1] - l1.per_level[1]).abs() < 1e-14);

@@ -44,9 +44,9 @@ fn quickstart_runs_to_completion() {
         "quickstart exited nonzero:\nstdout:\n{stdout}\nstderr:\n{stderr}"
     );
     // The example ends by sweeping approximation levels 0..=2; the last
-    // line of a healthy run names the exact level.
+    // line of a healthy run names the final level.
     assert!(
-        stdout.contains("approximation level 2"),
+        stdout.contains("approx l=2"),
         "quickstart output missing its final table:\n{stdout}"
     );
 }

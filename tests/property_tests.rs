@@ -169,7 +169,7 @@ proptest! {
             &noisy,
             &ProductState::all_zeros(3),
             &ProductState::basis(3, 0),
-            &ApproxOptions { level: 2, ..Default::default() }, // 2 noises ⇒ exact
+            &ApproxOptions::default().with_level(2), // 2 noises ⇒ exact
         );
         prop_assert!((mm - res.value).abs() < 1e-8, "mm {} vs A(N) {}", mm, res.value);
     }
@@ -192,7 +192,7 @@ proptest! {
                 &noisy,
                 &ProductState::all_zeros(3),
                 &ProductState::basis(3, 0),
-                &ApproxOptions { level, ..Default::default() },
+                &ApproxOptions::default().with_level(level),
             );
             let bound = qns::core::bounds::error_bound(3, rate, level);
             prop_assert!(

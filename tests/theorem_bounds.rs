@@ -10,10 +10,7 @@ use qns::sim::{density, statevector};
 use qns::tnet::builder::ProductState;
 
 fn opts(level: usize) -> ApproxOptions {
-    ApproxOptions {
-        level,
-        ..Default::default()
-    }
+    ApproxOptions::default().with_level(level)
 }
 
 #[test]

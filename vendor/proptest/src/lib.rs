@@ -3,8 +3,9 @@
 //!
 //! The build container has no crates.io access, so rather than pin the
 //! published `proptest` we vendor the surface the qns property tests
-//! call: the [`Strategy`] trait with [`Strategy::prop_map`], range and
-//! tuple strategies, [`strategy::Just`], [`collection::vec`],
+//! call: the [`strategy::Strategy`] trait with
+//! [`strategy::Strategy::prop_map`], range and tuple strategies,
+//! [`strategy::Just`], [`collection::vec()`],
 //! [`prop_oneof!`], the [`proptest!`] test macro, and the
 //! [`prop_assert!`] family.
 //!
