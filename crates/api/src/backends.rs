@@ -63,6 +63,15 @@ impl ApproxBackend {
         ApproxBackend { opts }
     }
 
+    /// Returns a copy evaluating patterns on `threads` worker threads
+    /// (see [`ApproxOptions::threads`]): the workers share one cached
+    /// contraction plan per split half and pull substitution patterns
+    /// from a streaming enumerator in chunks.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.opts = self.opts.with_threads(threads);
+        self
+    }
+
     /// A backend whose level equals `noisy`'s noise count — exact for
     /// that circuit (all `4^N` patterns), subject to the `max_terms`
     /// guard.
@@ -293,8 +302,10 @@ impl Backend for TnetBackend {
 
 /// Matrix-product-operator density evolution with a bond cap.
 ///
-/// Exact while the state's bond dimension stays below the cap;
-/// truncation error grows as entanglement exceeds it.
+/// Exact while the state's bond dimension stays below the cap; once
+/// entanglement exceeds it, SVD truncation kicks in and the estimate
+/// reports the accumulated discarded weight in
+/// [`Estimate::truncation_error`] instead of claiming exactness.
 #[non_exhaustive]
 #[derive(Clone, Copy, Debug)]
 pub struct MpoBackend {
@@ -328,10 +339,61 @@ impl Backend for MpoBackend {
         let mut rho = MpoState::from_product(&job.initial().factors(), self.max_bond);
         rho.run(job.noisy());
         let value = rho.expectation_product(&job.observable().factors());
-        Ok(Estimate::exact(value, self.name()))
+        let truncation = rho.truncation_error();
+        if truncation > 0.0 {
+            Ok(Estimate::truncated(value, truncation, self.name()))
+        } else {
+            Ok(Estimate::exact(value, self.name()))
+        }
     }
 
     fn tolerance(&self) -> f64 {
         1e-8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Simulation;
+    use qns_circuit::Circuit;
+
+    /// A circuit that at χ = 1 must truncate and at χ = 64 must not:
+    /// a GHZ ladder followed by an entangling ZZ round.
+    fn entangling_circuit() -> NoisyCircuit {
+        let mut c = Circuit::new(5);
+        c.h(0);
+        for q in 1..5 {
+            c.cx(q - 1, q);
+        }
+        for q in 0..4 {
+            c.zz(q, q + 1, 0.7);
+        }
+        NoisyCircuit::noiseless(c)
+    }
+
+    #[test]
+    fn mpo_backend_reports_truncation_under_tight_bond() {
+        let noisy = entangling_circuit();
+        let job = Simulation::new(&noisy).build().unwrap();
+
+        let tight = MpoBackend::max_bond(1).expectation(&job).unwrap();
+        let err = tight
+            .truncation_error
+            .expect("χ=1 must truncate and say so");
+        assert!(err > 1e-6, "truncation bound should be visible: {err}");
+        assert!(tight.is_deterministic(), "no sampling error bar");
+        assert!(!tight.is_exact(), "a truncated run is not exact");
+
+        let loose = MpoBackend::max_bond(64).expectation(&job).unwrap();
+        assert!(loose.is_exact(), "χ=64 is exact on this circuit");
+        assert_eq!(loose.truncation_error, None);
+    }
+
+    #[test]
+    fn approx_backend_threads_setter_routes_to_options() {
+        let b = ApproxBackend::level(2).with_threads(4);
+        assert_eq!(b.options().threads, 4);
+        assert_eq!(b.options().level, 2);
     }
 }

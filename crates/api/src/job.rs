@@ -222,16 +222,22 @@ pub struct Estimate {
     /// Statistical standard error of the mean for sampling backends;
     /// `None` for deterministic ones.
     pub std_error: Option<f64>,
+    /// Accumulated truncation-error bound for bond-capped engines
+    /// (the MPO backend's discarded singular-value weight); `None`
+    /// when the run was exact to machine precision.
+    pub truncation_error: Option<f64>,
     /// Name of the backend that produced the estimate.
     pub backend: &'static str,
 }
 
 impl Estimate {
-    /// An estimate from a deterministic backend.
+    /// An estimate from a deterministic backend that ran without any
+    /// approximation-forcing truncation.
     pub fn exact(value: f64, backend: &'static str) -> Self {
         Estimate {
             value,
             std_error: None,
+            truncation_error: None,
             backend,
         }
     }
@@ -241,6 +247,18 @@ impl Estimate {
         Estimate {
             value,
             std_error: Some(std_error),
+            truncation_error: None,
+            backend,
+        }
+    }
+
+    /// An estimate from a deterministic backend whose resource cap
+    /// forced truncation, with the accumulated truncation-error bound.
+    pub fn truncated(value: f64, truncation_error: f64, backend: &'static str) -> Self {
+        Estimate {
+            value,
+            std_error: None,
+            truncation_error: Some(truncation_error),
             backend,
         }
     }
@@ -248,6 +266,12 @@ impl Estimate {
     /// `true` when the estimate carries no statistical error bar.
     pub fn is_deterministic(&self) -> bool {
         self.std_error.is_none()
+    }
+
+    /// `true` when the estimate is exact up to machine precision:
+    /// deterministic *and* free of truncation.
+    pub fn is_exact(&self) -> bool {
+        self.std_error.is_none() && self.truncation_error.is_none()
     }
 }
 

@@ -21,8 +21,9 @@
 //!   [`MpoBackend`].
 //! * [`Simulation`] — a fluent builder:
 //!   `Simulation::new(&noisy).initial(..).observable(..).run_on(&backend)`.
-//! * [`run_batch`] / [`compare_backends`] — many jobs on one backend,
-//!   or one job across many backends, in one call.
+//! * [`run_batch`] / [`run_batch_parallel`] / [`compare_backends`] —
+//!   many jobs on one backend (optionally fanned across worker
+//!   threads), or one job across many backends, in one call.
 //!
 //! # Example
 //!
@@ -47,7 +48,7 @@ mod job;
 pub use backends::{
     ApproxBackend, Backend, DensityBackend, MpoBackend, TddBackend, TnetBackend, TrajectoryBackend,
 };
-pub use batch::{compare_backends, run_batch};
+pub use batch::{compare_backends, run_batch, run_batch_parallel};
 pub use job::{Estimate, ExpectationJob, InitialState, Observable, Simulation};
 
 // Re-exported so downstream code can name every type in a facade

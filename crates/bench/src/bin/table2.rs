@@ -3,7 +3,14 @@
 //! with 2 and 20 injected noises.
 //!
 //! Usage:
-//!   cargo run -p qns-bench --release --bin table2 [--full] [--level L]
+//!   cargo run -p qns-bench --release --bin table2 \
+//!       [--full] [--smoke] [--level L] [--threads T]
+//!
+//! `--smoke` runs a reduced one-circuit-per-family mode intended for
+//! CI: it times our approximation on the smoke set and *asserts* the
+//! plan-once/execute-many invariants (O(1) order searches per run, one
+//! plan replay per pattern), so contraction-plan regressions in the
+//! bench path fail the pipeline instead of silently slowing it down.
 //!
 //! Differences from the paper (see EXPERIMENTS.md): circuits are
 //! laptop-scale versions of the same families; the memory-out (MO)
@@ -15,10 +22,11 @@
 use qns_api::{
     ApproxBackend, ApproxOptions, Backend, DensityBackend, Simulation, TddBackend, TnetBackend,
 };
-use qns_bench::registry::{default_set, full_set, Family, MM_QUBIT_LIMIT};
+use qns_bench::registry::{default_set, full_set, smoke_set, Family, MM_QUBIT_LIMIT};
 use qns_bench::timing::{fmt_time, time_it};
 use qns_bench::{arg_flag, arg_usize, print_row};
-use qns_noise::{channels, NoisyCircuit};
+use qns_noise::{channels, Kraus, NoisyCircuit};
+use qns_tnet::builder::ProductState;
 
 /// TDD density evolution is only competitive on structured circuits;
 /// beyond these limits we report MO like the paper does for its
@@ -36,15 +44,86 @@ fn mm_feasible(n: usize) -> bool {
     n <= MM_QUBIT_LIMIT
 }
 
+/// The reduced CI mode behind `--smoke`: our approximation only, on
+/// the smoke set with a noise count high enough that plan reuse is the
+/// dominant cost factor. Asserts the plan-subsystem invariants so a
+/// regression exits nonzero.
+fn run_smoke(level: usize, threads: usize, channel: &Kraus) {
+    const SMOKE_NOISES: usize = 12;
+    println!(
+        "Table II smoke mode — level-{level} approximation, {SMOKE_NOISES} noises, \
+         {threads} thread(s)\n"
+    );
+    let widths = [10usize, 12, 6, 8, 9, 9, 12, 9];
+    print_row(
+        &[
+            "Type".into(),
+            "Circuit".into(),
+            "Qubits".into(),
+            "Terms".into(),
+            "Searches".into(),
+            "Reuses".into(),
+            "Value".into(),
+            "Ours".into(),
+        ],
+        &widths,
+    );
+    for bench in smoke_set() {
+        let n = bench.circuit.n_qubits();
+        let noisy =
+            NoisyCircuit::inject_random(bench.circuit.clone(), channel, SMOKE_NOISES, 0xF00D);
+        let opts = ApproxOptions::default()
+            .with_level(level)
+            .with_threads(threads);
+        let psi = ProductState::all_zeros(n);
+        let v = ProductState::all_zeros(n);
+        let (res, t) = time_it(|| qns_core::try_approximate_expectation(&noisy, &psi, &v, &opts));
+        let res = res.expect("smoke job within budget");
+
+        // The contraction-plan regression tripwires.
+        assert_eq!(
+            res.stats.order_searches, 2,
+            "{}: the split evaluator must search the order once per half, \
+             not per pattern",
+            bench.name
+        );
+        assert_eq!(
+            res.stats.plan_reuses,
+            2 * res.terms_evaluated,
+            "{}: every pattern must replay the cached plans",
+            bench.name
+        );
+
+        print_row(
+            &[
+                bench.family.label().to_string(),
+                bench.name.clone(),
+                n.to_string(),
+                res.terms_evaluated.to_string(),
+                res.stats.order_searches.to_string(),
+                res.stats.plan_reuses.to_string(),
+                format!("{:.4e}", res.value),
+                fmt_time(Some(t), "MO"),
+            ],
+            &widths,
+        );
+    }
+    println!("\nplan invariants hold: order searches O(1), one plan replay per pattern");
+}
+
 fn main() {
     let threads = qns_bench::arg_usize("--threads", 1);
+    let level = arg_usize("--level", 1);
+    let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
+    if arg_flag("--smoke") {
+        run_smoke(level, threads, &channel);
+        return;
+    }
     let set = if arg_flag("--full") {
         full_set()
     } else {
         default_set()
     };
-    let level = arg_usize("--level", 1);
-    let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
 
     println!("Table II reproduction — accurate methods vs our level-{level} approximation");
     println!(

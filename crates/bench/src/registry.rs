@@ -72,6 +72,17 @@ pub fn default_set() -> Vec<BenchCircuit> {
     ]
 }
 
+/// The minimal one-circuit-per-family set for CI smoke runs (seconds,
+/// not minutes): large enough to exercise the plan-once/execute-many
+/// bench path end-to-end, small enough to run on every push.
+pub fn smoke_set() -> Vec<BenchCircuit> {
+    vec![
+        BenchCircuit::new("hf_6", Family::HfVqe, hf_vqe(6, 3, 10)),
+        BenchCircuit::new("qaoa_9", Family::Qaoa, qaoa_grid_random(3, 3, 2, 20)),
+        BenchCircuit::new("inst_2x3_8", Family::Supremacy, inst_grid(2, 3, 8, 30)),
+    ]
+}
+
 /// The extended set enabled by `--full`. Budget several minutes of
 /// runtime and several GB of memory: the exact TN contraction of the
 /// 25-qubit double network with 20 noise bridges is precisely the
@@ -154,6 +165,19 @@ mod tests {
         assert!(full.len() > default.len());
         for (d, f) in default.iter().zip(&full) {
             assert_eq!(d.name, f.name, "--full must keep the default prefix");
+        }
+    }
+
+    #[test]
+    fn smoke_set_is_a_small_default_subset() {
+        let defaults: Vec<_> = default_set().iter().map(|b| b.name.clone()).collect();
+        let smoke = smoke_set();
+        assert!(smoke.len() <= 3, "smoke must stay CI-cheap");
+        for b in &smoke {
+            assert!(defaults.contains(&b.name), "{} not in default set", b.name);
+        }
+        for fam in [Family::HfVqe, Family::Qaoa, Family::Supremacy] {
+            assert!(smoke.iter().any(|b| b.family == fam), "{fam:?} missing");
         }
     }
 

@@ -16,13 +16,30 @@
 //! ```
 //!
 //! at `2·Σ_{u≤l} C(N,u)·3^u` single-size contractions (Theorem 1).
+//!
+//! # Plan-once/execute-many
+//!
+//! All patterns share exactly one network topology per split half —
+//! only the 2×2 `U`/`V` payloads differ — so the evaluators here build
+//! each half's [`AmplitudeSkeleton`] **once per run**, capture its
+//! greedy contraction order as a [`qns_tnet::plan::ContractionPlan`],
+//! and then merely swap payloads and replay the plan per pattern. The
+//! order search therefore runs `O(1)` times per run instead of once
+//! per pattern (`O(N^l)` times); [`ApproxResult::stats`] reports the
+//! search/replay counts so the amortization is observable. Patterns
+//! themselves are *streamed* (sequentially, or pulled in fixed-size
+//! chunks by worker threads), so pattern-buffer memory is `O(chunk)`
+//! rather than `O(N^l)`.
 
 use crate::noise_svd::NoiseSvd;
 use qns_circuit::Circuit;
-use qns_linalg::Complex64;
+use qns_linalg::{Complex64, Matrix};
 use qns_noise::{NoiseEvent, NoisyCircuit, QnsError};
-use qns_tnet::builder::{amplitude_network_with, Insertion, ProductState};
-use qns_tnet::network::OrderStrategy;
+use qns_tensor::Tensor;
+use qns_tnet::builder::{AmplitudeSkeleton, DoubleSkeleton, Insertion, ProductState};
+use qns_tnet::network::{ContractionStats, OrderStrategy};
+use qns_tnet::plan::ContractionPlan;
+use std::sync::Mutex;
 
 /// Options for [`approximate_expectation`].
 ///
@@ -42,6 +59,8 @@ pub struct ApproxOptions {
     /// Worker threads for pattern evaluation (patterns are independent,
     /// so the sum parallelizes embarrassingly — the paper's server runs
     /// exploited exactly this). `0` or `1` evaluates sequentially.
+    /// Workers share one contraction plan and pull patterns from a
+    /// streaming enumerator in fixed-size chunks.
     pub threads: usize,
 }
 
@@ -94,6 +113,11 @@ pub struct ApproxResult {
     /// Number of tensor-network contractions performed
     /// (`2 × terms_evaluated`).
     pub contractions: usize,
+    /// Aggregated contraction statistics across the whole pattern sum.
+    /// With plan reuse, `stats.order_searches` stays `O(1)` per run
+    /// (2 for the split evaluator — one search per half; 1 for the
+    /// unsplit one) while `stats.plan_reuses` counts the replays.
+    pub stats: ContractionStats,
 }
 
 /// One noise site prepared for substitution.
@@ -118,43 +142,89 @@ fn collect_sites(noisy: &NoisyCircuit) -> Vec<Site> {
         .collect()
 }
 
-/// Evaluates one substitution pattern: `assignment[s]` picks the term
-/// for site `s`. Returns `amp_up · amp_lo`.
-fn evaluate_pattern(
+/// The two split-half skeletons of one run. Payload swaps mutate the
+/// skeletons, so each worker thread clones this pair; the (read-only)
+/// plans and payload tables are shared.
+#[derive(Clone)]
+struct SplitSkeletons {
+    upper: AmplitudeSkeleton,
+    lower: AmplitudeSkeleton,
+}
+
+/// The per-run shared state of the split evaluator: the contraction
+/// plans (searched once) and every site's four SVD-term payload
+/// tensors, pre-resolved — conjugation included — so the hot loop
+/// only clones 2×2 tensors into the skeleton slots.
+struct SplitShared {
+    up: ContractionPlan,
+    lo: ContractionPlan,
+    /// `payloads[site][term] = (upper tensor U_term, lower tensor)`.
+    /// The lower network is built with `conjugate = true`, which
+    /// conjugates inserted *matrices*; the pre-built tensor carries
+    /// `V_term` itself (the old path passed `V.conj()` and let the
+    /// builder conjugate it back).
+    payloads: Vec<[(Tensor, Tensor); 4]>,
+}
+
+/// Builds the insertion skeletons for `⟨x|·|ψ⟩` (upper) and
+/// `⟨y|·|ψ⟩`* (lower) with identity placeholders at every noise site,
+/// plans both contractions, and resolves the payload tensors — the
+/// once-per-run setup.
+fn build_split(
     circuit: &Circuit,
     psi: &ProductState,
-    v: &ProductState,
+    x: &ProductState,
+    y: &ProductState,
     sites: &[Site],
-    assignment: &[usize],
     strategy: OrderStrategy,
+) -> (SplitSkeletons, SplitShared) {
+    let placeholders: Vec<Insertion> = sites
+        .iter()
+        .map(|s| Insertion {
+            after_gate: s.after_gate,
+            qubit: s.qubit,
+            matrix: Matrix::identity(2),
+        })
+        .collect();
+    let upper = AmplitudeSkeleton::new(circuit, psi, x, &placeholders, false);
+    let lower = AmplitudeSkeleton::new(circuit, psi, y, &placeholders, true);
+    let up = upper.plan(strategy);
+    let lo = lower.plan(strategy);
+    let payloads = sites
+        .iter()
+        .map(|s| {
+            std::array::from_fn(|term| {
+                let (u, vm) = s.svd.term(term);
+                (Tensor::from_matrix(u), Tensor::from_matrix(vm))
+            })
+        })
+        .collect();
+    (
+        SplitSkeletons { upper, lower },
+        SplitShared { up, lo, payloads },
+    )
+}
+
+/// Evaluates one substitution pattern by swapping the pre-resolved
+/// `U`/`V` payload tensors into the skeletons and replaying the cached
+/// plans: no network construction, no order search, no matrix
+/// conversions. Returns `amp_up · amp_lo`.
+fn evaluate_pattern_with(
+    skels: &mut SplitSkeletons,
+    shared: &SplitShared,
+    assignment: &[usize],
+    stats: &mut ContractionStats,
 ) -> Complex64 {
-    let mut upper = Vec::with_capacity(sites.len());
-    let mut lower = Vec::with_capacity(sites.len());
-    for (site, &term) in sites.iter().zip(assignment) {
-        let (u, vm) = site.svd.term(term);
-        upper.push(Insertion {
-            after_gate: site.after_gate,
-            qubit: site.qubit,
-            matrix: u.clone(),
-        });
-        // The lower network is built with `conjugate = true`, which
-        // conjugates the provided matrix; pre-conjugate so the network
-        // carries V itself.
-        lower.push(Insertion {
-            after_gate: site.after_gate,
-            qubit: site.qubit,
-            matrix: vm.conj(),
-        });
+    for (i, &term) in assignment.iter().enumerate() {
+        let (u, v) = &shared.payloads[i][term];
+        skels.upper.set_insertion_tensor(i, u.clone());
+        skels.lower.set_insertion_tensor(i, v.clone());
     }
-    let amp_up = amplitude_network_with(circuit, psi, v, &upper, false)
-        .contract_all(strategy)
-        .0
-        .scalar_value();
-    let amp_lo = amplitude_network_with(circuit, psi, v, &lower, true)
-        .contract_all(strategy)
-        .0
-        .scalar_value();
-    amp_up * amp_lo
+    let (t_up, s_up) = shared.up.execute_network(skels.upper.network());
+    let (t_lo, s_lo) = shared.lo.execute_network(skels.lower.network());
+    stats.absorb(&s_up);
+    stats.absorb(&s_lo);
+    t_up.scalar_value() * t_lo.scalar_value()
 }
 
 /// Validates that a state's qubit count matches the circuit's.
@@ -187,34 +257,195 @@ fn check_budget(n_sites: usize, level: usize, max_terms: u128) -> Result<u128, Q
     Ok(planned)
 }
 
-/// Iterates all `k`-subsets of `0..n` in lexicographic order, calling
-/// `f` for each.
-fn for_each_subset(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
-    if k > n {
-        return;
+/// Number of level-`u` patterns over `n` sites: `C(n,u)·3^u`.
+fn patterns_at_level(n: usize, u: usize) -> u128 {
+    let mut c: u128 = 1;
+    for j in 0..u {
+        c = c * (n - j) as u128 / (j + 1) as u128;
     }
-    let mut idx: Vec<usize> = (0..k).collect();
-    loop {
-        f(&idx);
-        // advance
-        let mut i = k;
+    c * 3u128.pow(u as u32)
+}
+
+/// Streaming enumerator of the level-`u` substitution patterns over
+/// `n` sites, in the canonical order (site subsets lexicographic,
+/// sub-dominant term digits counting fastest at the lowest site).
+///
+/// Holds `O(u)` state — the replacement for the old materialized
+/// `Vec<Vec<u8>>`, which at the default `max_terms` budget could
+/// occupy gigabytes. Workers pull from one shared stream in chunks.
+struct PatternStream {
+    n: usize,
+    u: usize,
+    subset: Vec<usize>,
+    digits: Vec<usize>,
+    exhausted: bool,
+}
+
+impl PatternStream {
+    fn new(n: usize, u: usize) -> Self {
+        PatternStream {
+            n,
+            u,
+            subset: (0..u).collect(),
+            digits: vec![0; u],
+            exhausted: u > n,
+        }
+    }
+
+    /// Writes the next pattern (term index per site) into `out`.
+    /// Returns `false` once the stream is exhausted.
+    fn next_into(&mut self, out: &mut [usize]) -> bool {
+        debug_assert_eq!(out.len(), self.n, "one term slot per site");
+        if self.exhausted {
+            return false;
+        }
+        out.fill(0);
+        for (&d, &s) in self.digits.iter().zip(&self.subset) {
+            out[s] = d + 1;
+        }
+        self.advance();
+        true
+    }
+
+    fn advance(&mut self) {
+        // Count the sub-dominant digits in base 3, position 0 fastest.
+        let u = self.u;
+        let mut pos = 0;
+        while pos < u {
+            self.digits[pos] += 1;
+            if self.digits[pos] < 3 {
+                return;
+            }
+            self.digits[pos] = 0;
+            pos += 1;
+        }
+        // Digits rolled over: advance the site subset lexicographically.
+        let mut i = u;
         loop {
             if i == 0 {
+                self.exhausted = true;
                 return;
             }
             i -= 1;
-            if idx[i] != i + n - k {
+            if self.subset[i] != i + self.n - u {
                 break;
             }
             if i == 0 {
+                self.exhausted = true;
                 return;
             }
         }
-        idx[i] += 1;
-        for j in i + 1..k {
-            idx[j] = idx[j - 1] + 1;
+        self.subset[i] += 1;
+        for j in i + 1..u {
+            self.subset[j] = self.subset[j - 1] + 1;
         }
     }
+}
+
+/// Patterns pulled from the shared stream per lock acquisition. Small
+/// enough that the tail imbalance between workers stays negligible,
+/// large enough that the mutex is cold next to the contractions.
+const PATTERN_CHUNK: usize = 32;
+
+/// Streams the level-`u` patterns sequentially through the shared
+/// plans. Returns `(Σ amp_up·amp_lo, patterns evaluated, stats)`.
+fn evaluate_level_sequential(
+    skels: &mut SplitSkeletons,
+    shared: &SplitShared,
+    n: usize,
+    u: usize,
+) -> (Complex64, usize, ContractionStats) {
+    let mut stream = PatternStream::new(n, u);
+    let mut assignment = vec![0usize; n];
+    let mut acc = Complex64::ZERO;
+    let mut count = 0usize;
+    let mut stats = ContractionStats::default();
+    while stream.next_into(&mut assignment) {
+        acc += evaluate_pattern_with(skels, shared, &assignment, &mut stats);
+        count += 1;
+    }
+    (acc, count, stats)
+}
+
+/// Fans the level-`u` pattern stream across scoped worker threads.
+/// Each worker clones the skeletons, shares the run's plans, and pulls
+/// [`PATTERN_CHUNK`]-sized chunks from the stream — peak pattern
+/// memory is `O(threads · chunk)` regardless of the level's size.
+///
+/// Which worker evaluates which chunk depends on OS scheduling, so to
+/// keep the (non-associative) floating-point sum run-to-run
+/// deterministic every chunk carries a sequence number and the partial
+/// sums are reduced in sequence order after the join.
+fn evaluate_level_parallel(
+    skels: &SplitSkeletons,
+    shared: &SplitShared,
+    n: usize,
+    u: usize,
+    threads: usize,
+) -> (Complex64, usize, ContractionStats) {
+    let avail = patterns_at_level(n, u).min(usize::MAX as u128) as usize;
+    let workers = threads.min(avail).max(1);
+    // Shared state: the pattern stream plus the next chunk's sequence
+    // number, handed out under the same lock as the chunk itself.
+    let stream = Mutex::new((PatternStream::new(n, u), 0usize));
+    std::thread::scope(|scope| {
+        let stream = &stream;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let mut skels = skels.clone();
+                scope.spawn(move || {
+                    let mut chunk_sums: Vec<(usize, Complex64)> = Vec::new();
+                    let mut count = 0usize;
+                    let mut stats = ContractionStats::default();
+                    // Flat chunk buffer: PATTERN_CHUNK assignments of n
+                    // sites each, refilled under one lock.
+                    let mut buf = vec![0usize; PATTERN_CHUNK * n];
+                    loop {
+                        let (seq, filled) = {
+                            let mut guard = stream.lock().expect("pattern stream lock");
+                            let (s, next_seq) = &mut *guard;
+                            let mut f = 0;
+                            while f < PATTERN_CHUNK && s.next_into(&mut buf[f * n..(f + 1) * n]) {
+                                f += 1;
+                            }
+                            let seq = *next_seq;
+                            if f > 0 {
+                                *next_seq += 1;
+                            }
+                            (seq, f)
+                        };
+                        if filled == 0 {
+                            break;
+                        }
+                        let mut chunk_acc = Complex64::ZERO;
+                        for k in 0..filled {
+                            chunk_acc += evaluate_pattern_with(
+                                &mut skels,
+                                shared,
+                                &buf[k * n..(k + 1) * n],
+                                &mut stats,
+                            );
+                        }
+                        chunk_sums.push((seq, chunk_acc));
+                        count += filled;
+                    }
+                    (chunk_sums, count, stats)
+                })
+            })
+            .collect();
+        let mut all_chunks: Vec<(usize, Complex64)> = Vec::new();
+        let mut count = 0usize;
+        let mut stats = ContractionStats::default();
+        for h in handles {
+            let (chunks, c, s) = h.join().expect("worker thread panicked");
+            all_chunks.extend(chunks);
+            count += c;
+            stats.absorb(&s);
+        }
+        all_chunks.sort_unstable_by_key(|&(seq, _)| seq);
+        let acc = all_chunks.into_iter().map(|(_, v)| v).sum();
+        (acc, count, stats)
+    })
 }
 
 /// The l-level approximation of `⟨v| E_N(|ψ⟩⟨ψ|) |v⟩`
@@ -256,26 +487,26 @@ pub fn try_approximate_expectation(
     let level = opts.level.min(n);
     check_budget(n, level, opts.max_terms)?;
 
+    // Plan-once: both split halves are built and order-searched here,
+    // then only payload-swapped for every pattern below. The search
+    // counters come from the plan objects themselves.
+    let (mut skels, shared) = build_split(circuit, psi, v, v, &sites, opts.strategy);
+    let mut stats = ContractionStats::default();
+    stats.absorb(&shared.up.planning_stats());
+    stats.absorb(&shared.lo.planning_stats());
+
     let mut per_level = vec![0.0f64; level + 1];
     let mut terms_evaluated = 0usize;
 
-    for u in 0..=level {
-        let patterns = enumerate_patterns(n, u);
-        terms_evaluated += patterns.len();
-        let tu = if opts.threads > 1 && patterns.len() > 1 {
-            evaluate_patterns_parallel(circuit, psi, v, &sites, &patterns, opts)
+    for (u, slot) in per_level.iter_mut().enumerate() {
+        let (tu, count, level_stats) = if opts.threads > 1 && patterns_at_level(n, u) > 1 {
+            evaluate_level_parallel(&skels, &shared, n, u, opts.threads)
         } else {
-            let mut acc = Complex64::ZERO;
-            let mut assignment = vec![0usize; n];
-            for pat in &patterns {
-                for (a, &p) in assignment.iter_mut().zip(pat.iter()) {
-                    *a = p as usize;
-                }
-                acc += evaluate_pattern(circuit, psi, v, &sites, &assignment, opts.strategy);
-            }
-            acc
+            evaluate_level_sequential(&mut skels, &shared, n, u)
         };
-        per_level[u] = tu.re;
+        stats.absorb(&level_stats);
+        terms_evaluated += count;
+        *slot = tu.re;
     }
 
     Ok(ApproxResult {
@@ -283,81 +514,15 @@ pub fn try_approximate_expectation(
         per_level,
         terms_evaluated,
         contractions: 2 * terms_evaluated,
-    })
-}
-
-/// Materializes all level-`u` substitution patterns over `n` sites as
-/// term-index vectors (`0` = dominant, `1..=3` = sub-dominant).
-fn enumerate_patterns(n: usize, u: usize) -> Vec<Vec<u8>> {
-    let mut out = Vec::new();
-    for_each_subset(n, u, |subset| {
-        let mut digits = vec![0usize; u];
-        loop {
-            let mut pat = vec![0u8; n];
-            for (d, &site_idx) in digits.iter().zip(subset) {
-                pat[site_idx] = (d + 1) as u8;
-            }
-            out.push(pat);
-            let mut pos = 0;
-            loop {
-                if pos == u {
-                    break;
-                }
-                digits[pos] += 1;
-                if digits[pos] < 3 {
-                    break;
-                }
-                digits[pos] = 0;
-                pos += 1;
-            }
-            if pos == u {
-                break;
-            }
-        }
-    });
-    out
-}
-
-/// Splits the pattern list across scoped worker threads and sums the
-/// per-pattern contributions.
-fn evaluate_patterns_parallel(
-    circuit: &Circuit,
-    psi: &ProductState,
-    v: &ProductState,
-    sites: &[Site],
-    patterns: &[Vec<u8>],
-    opts: &ApproxOptions,
-) -> Complex64 {
-    let workers = opts.threads.min(patterns.len()).max(1);
-    let chunk = patterns.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = patterns
-            .chunks(chunk)
-            .map(|chunk_patterns| {
-                scope.spawn(move || {
-                    let mut acc = Complex64::ZERO;
-                    let mut assignment = vec![0usize; sites.len()];
-                    for pat in chunk_patterns {
-                        for (a, &p) in assignment.iter_mut().zip(pat.iter()) {
-                            *a = p as usize;
-                        }
-                        acc += evaluate_pattern(circuit, psi, v, sites, &assignment, opts.strategy);
-                    }
-                    acc
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .sum()
+        stats,
     })
 }
 
 /// The level-`l` approximation evaluated **without** splitting: each
 /// substitution pattern replaces the noise tensors inside the
 /// double-size network by their Kronecker factors and contracts the
-/// full `2n`-rail network once.
+/// full `2n`-rail network once (plan searched once, replayed per
+/// pattern).
 ///
 /// Numerically identical to [`approximate_expectation`]; it exists to
 /// quantify the factorization benefit in isolation (the DESIGN.md
@@ -387,9 +552,6 @@ pub fn try_approximate_expectation_unsplit(
     v: &ProductState,
     opts: &ApproxOptions,
 ) -> Result<ApproxResult, QnsError> {
-    use qns_tnet::builder::double_network;
-    use std::collections::HashMap;
-
     let circuit = noisy.circuit();
     check_state("input state", psi, circuit)?;
     check_state("test state", v, circuit)?;
@@ -401,8 +563,8 @@ pub fn try_approximate_expectation_unsplit(
     check_budget(n, level, opts.max_terms)?;
 
     // Site index (initial-first ordering of `collect_sites`) → the
-    // replacement key used by `double_network` (regular events keyed by
-    // their index, initial events keyed after them).
+    // replacement key used by the double network (regular events keyed
+    // by their index, initial events keyed after them).
     let site_key = |s: usize| -> usize {
         if s < n_initial {
             n_regular + s
@@ -411,50 +573,31 @@ pub fn try_approximate_expectation_unsplit(
         }
     };
 
+    // Plan-once for the 2n-rail network: every pattern substitutes a
+    // Kronecker pair at every site, so the topology is fixed.
+    let mut skel = DoubleSkeleton::new(noisy, psi, v);
+    let plan = skel.plan(opts.strategy);
+    let mut stats = ContractionStats::default();
+    stats.absorb(&plan.planning_stats());
+
     let mut per_level = vec![0.0f64; level + 1];
     let mut terms_evaluated = 0usize;
     let mut assignment = vec![0usize; n];
 
-    for u in 0..=level {
+    for (u, slot) in per_level.iter_mut().enumerate() {
         let mut tu = Complex64::ZERO;
-        for_each_subset(n, u, |subset| {
-            let mut digits = vec![0usize; u];
-            loop {
-                for s in assignment.iter_mut() {
-                    *s = 0;
-                }
-                for (d, &site_idx) in digits.iter().zip(subset) {
-                    assignment[site_idx] = d + 1;
-                }
-                let mut repl = HashMap::new();
-                for (s, site) in sites.iter().enumerate() {
-                    let (a, b) = site.svd.term(assignment[s]);
-                    repl.insert(site_key(s), (a.clone(), b.clone()));
-                }
-                let val = double_network(noisy, psi, v, &repl)
-                    .contract_all(opts.strategy)
-                    .0
-                    .scalar_value();
-                tu += val;
-                terms_evaluated += 1;
-                let mut pos = 0;
-                loop {
-                    if pos == u {
-                        break;
-                    }
-                    digits[pos] += 1;
-                    if digits[pos] < 3 {
-                        break;
-                    }
-                    digits[pos] = 0;
-                    pos += 1;
-                }
-                if pos == u {
-                    break;
-                }
+        let mut stream = PatternStream::new(n, u);
+        while stream.next_into(&mut assignment) {
+            for (s, site) in sites.iter().enumerate() {
+                let (a, b) = site.svd.term(assignment[s]);
+                skel.set_replacement(site_key(s), a, b);
             }
-        });
-        per_level[u] = tu.re;
+            let (t, exec_stats) = plan.execute_network(skel.network());
+            stats.absorb(&exec_stats);
+            tu += t.scalar_value();
+            terms_evaluated += 1;
+        }
+        *slot = tu.re;
     }
 
     Ok(ApproxResult {
@@ -462,46 +605,8 @@ pub fn try_approximate_expectation_unsplit(
         per_level,
         terms_evaluated,
         contractions: terms_evaluated, // one double-size contraction each
+        stats,
     })
-}
-
-/// Evaluates one substitution pattern with **asymmetric caps**: the
-/// upper (ket-side) network is capped with `x`, the lower
-/// (conjugate-side) network with `y` — producing one term of
-/// `⟨x|E(ρ)|y⟩ = (⟨x| ⊗ ⟨y*|)·M·(|ψ⟩ ⊗ |ψ*⟩)`.
-fn evaluate_pattern_element(
-    circuit: &Circuit,
-    psi: &ProductState,
-    x: &ProductState,
-    y: &ProductState,
-    sites: &[Site],
-    assignment: &[usize],
-    strategy: OrderStrategy,
-) -> Complex64 {
-    let mut upper = Vec::with_capacity(sites.len());
-    let mut lower = Vec::with_capacity(sites.len());
-    for (site, &term) in sites.iter().zip(assignment) {
-        let (u, vm) = site.svd.term(term);
-        upper.push(Insertion {
-            after_gate: site.after_gate,
-            qubit: site.qubit,
-            matrix: u.clone(),
-        });
-        lower.push(Insertion {
-            after_gate: site.after_gate,
-            qubit: site.qubit,
-            matrix: vm.conj(),
-        });
-    }
-    let amp_up = amplitude_network_with(circuit, psi, x, &upper, false)
-        .contract_all(strategy)
-        .0
-        .scalar_value();
-    let amp_lo = amplitude_network_with(circuit, psi, y, &lower, true)
-        .contract_all(strategy)
-        .0
-        .scalar_value();
-    amp_up * amp_lo
 }
 
 /// The l-level approximation of a general output-density-matrix
@@ -546,15 +651,19 @@ pub fn try_approximate_matrix_element(
     let level = opts.level.min(n);
     check_budget(n, level, opts.max_terms)?;
 
+    // Same plan-once machinery as the expectation, with asymmetric
+    // caps: the upper (ket-side) network capped with `x`, the lower
+    // (conjugate-side) network with `y` — producing the terms of
+    // `⟨x|E(ρ)|y⟩ = (⟨x| ⊗ ⟨y*|)·M·(|ψ⟩ ⊗ |ψ*⟩)`.
+    let (mut skels, shared) = build_split(circuit, psi, x, y, &sites, opts.strategy);
+    let mut stats = ContractionStats::default();
+
     let mut total = Complex64::ZERO;
     let mut assignment = vec![0usize; n];
     for u in 0..=level {
-        for pat in enumerate_patterns(n, u) {
-            for (a, &p) in assignment.iter_mut().zip(pat.iter()) {
-                *a = p as usize;
-            }
-            total +=
-                evaluate_pattern_element(circuit, psi, x, y, &sites, &assignment, opts.strategy);
+        let mut stream = PatternStream::new(n, u);
+        while stream.next_into(&mut assignment) {
+            total += evaluate_pattern_with(&mut skels, &shared, &assignment, &mut stats);
         }
     }
     Ok(total)
@@ -632,8 +741,11 @@ pub struct AutoReport {
 ///
 /// # Errors
 ///
-/// Returns `Err` with the smallest achievable bound when no level
-/// within the [`ApproxOptions::max_terms`] guard reaches the target.
+/// Returns `Err` with the smallest bound **achievable within the
+/// [`ApproxOptions::max_terms`] guard** when no feasible level reaches
+/// the target. Levels whose pattern count exceeds the guard do not
+/// contribute to the reported bound — it is always attainable by
+/// re-running with a looser target.
 ///
 /// # Panics
 ///
@@ -649,12 +761,12 @@ pub fn simulate_auto(
     let p = noisy.max_noise_rate();
     let mut best_bound = f64::INFINITY;
     for level in 0..=n {
-        let bound = crate::bounds::error_bound(n, p, level);
-        best_bound = best_bound.min(bound);
         let patterns = crate::bounds::contraction_count(n, level) / 2;
         if patterns > base.max_terms {
             break;
         }
+        let bound = crate::bounds::error_bound(n, p, level);
+        best_bound = best_bound.min(bound);
         if bound <= target_error {
             let opts = ApproxOptions { level, ..*base };
             let result = approximate_expectation(noisy, psi, v, &opts);
@@ -702,6 +814,18 @@ mod tests {
             level,
             ..Default::default()
         }
+    }
+
+    /// Materializes the pattern stream (test-only; production code
+    /// streams).
+    fn enumerate_patterns(n: usize, u: usize) -> Vec<Vec<usize>> {
+        let mut stream = PatternStream::new(n, u);
+        let mut out = Vec::new();
+        let mut pat = vec![0usize; n];
+        while stream.next_into(&mut pat) {
+            out.push(pat.clone());
+        }
+        out
     }
 
     #[test]
@@ -806,6 +930,35 @@ mod tests {
                 "level {l}"
             );
         }
+    }
+
+    #[test]
+    fn plan_reuse_amortizes_order_searches() {
+        // The acceptance criterion of the plan subsystem: per-run
+        // order searches are O(1) — two for the split evaluator, one
+        // for the unsplit one — while every pattern replays a plan.
+        let noisy = NoisyCircuit::inject_random(ghz(4), &channels::depolarizing(1e-2), 5, 37);
+        let psi = ProductState::all_zeros(4);
+        let v = ProductState::basis(4, 0b1111);
+        for threads in [1usize, 4] {
+            let o = ApproxOptions {
+                level: 2,
+                threads,
+                ..Default::default()
+            };
+            let res = approximate_expectation(&noisy, &psi, &v, &o);
+            assert!(res.terms_evaluated > 50, "nontrivial pattern count");
+            assert_eq!(res.stats.order_searches, 2, "threads={threads}");
+            assert_eq!(
+                res.stats.plan_reuses,
+                2 * res.terms_evaluated,
+                "threads={threads}: every pattern replays both half-plans"
+            );
+        }
+
+        let unsplit = approximate_expectation_unsplit(&noisy, &psi, &v, &opts(1));
+        assert_eq!(unsplit.stats.order_searches, 1);
+        assert_eq!(unsplit.stats.plan_reuses, unsplit.terms_evaluated);
     }
 
     #[test]
@@ -956,6 +1109,38 @@ mod tests {
     }
 
     #[test]
+    fn auto_simulation_reports_only_feasible_bounds() {
+        // Regression: the reported "smallest achievable bound" must be
+        // attainable within the max_terms budget. With max_terms = 10
+        // only level 0 is feasible (level 1 needs 1 + 3·8 = 25
+        // patterns), so the error must be the level-0 bound — not the
+        // smaller level-1+ bounds the old code folded in before
+        // noticing they were over budget.
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(0.05), 8, 43);
+        let n = noisy.noise_count();
+        let p = noisy.max_noise_rate();
+        let tight = ApproxOptions {
+            max_terms: 10,
+            ..Default::default()
+        };
+        let reported = simulate_auto(
+            &noisy,
+            &ProductState::all_zeros(3),
+            &ProductState::basis(3, 0),
+            1e-12,
+            &tight,
+        )
+        .unwrap_err();
+        let feasible = crate::bounds::error_bound(n, p, 0);
+        let infeasible = crate::bounds::error_bound(n, p, 1);
+        assert!(infeasible < feasible, "level 1 must look tempting");
+        assert_eq!(
+            reported, feasible,
+            "reported bound must be the best *feasible* one"
+        );
+    }
+
+    #[test]
     fn coherent_noise_handled_by_approximation() {
         // Unitary (coherent) noise channels also decompose and
         // approximate; full level is exact.
@@ -1005,6 +1190,67 @@ mod tests {
     }
 
     #[test]
+    fn parallel_evaluation_streams_multiple_chunks() {
+        // 7 sites at level 2 put C(7,2)·9 = 189 patterns in the top
+        // level — more than PATTERN_CHUNK × threads, so workers must go
+        // back to the shared stream for further chunks and still
+        // reproduce the sequential sum and term count exactly.
+        let noisy = NoisyCircuit::inject_random(
+            ghz(4),
+            &channels::thermal_relaxation(30.0, 40.0, 100.0),
+            7,
+            31,
+        );
+        let psi = ProductState::all_zeros(4);
+        let v = ProductState::basis(4, 0b1111);
+        assert!(
+            patterns_at_level(7, 2) as usize > PATTERN_CHUNK * 4,
+            "test must exercise multiple chunks in flight"
+        );
+        let seq = approximate_expectation(&noisy, &psi, &v, &opts(2));
+        let par = approximate_expectation(
+            &noisy,
+            &psi,
+            &v,
+            &ApproxOptions {
+                level: 2,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (seq.value - par.value).abs() < 1e-12,
+            "seq {} vs par {}",
+            seq.value,
+            par.value
+        );
+        assert_eq!(seq.terms_evaluated, par.terms_evaluated);
+        assert_eq!(par.terms_evaluated, 1 + 21 + 189);
+        assert_eq!(par.stats.plan_reuses, 2 * par.terms_evaluated);
+
+        // Run-to-run determinism: chunk assignment depends on OS
+        // scheduling, but the sequence-ordered reduction must make the
+        // float sum bit-identical across repeats.
+        for _ in 0..3 {
+            let again = approximate_expectation(
+                &noisy,
+                &psi,
+                &v,
+                &ApproxOptions {
+                    level: 2,
+                    threads: 4,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                again.value.to_bits(),
+                par.value.to_bits(),
+                "parallel sum must be bit-stable across runs"
+            );
+        }
+    }
+
+    #[test]
     fn pattern_enumeration_counts() {
         assert_eq!(enumerate_patterns(5, 0).len(), 1);
         assert_eq!(enumerate_patterns(5, 1).len(), 15); // C(5,1)·3
@@ -1015,6 +1261,14 @@ mod tests {
             assert_eq!(pat.iter().filter(|&&x| x > 0).count(), 2);
             assert!(pat.iter().all(|&x| x <= 3));
         }
+
+        // The stream agrees with the closed-form count and never
+        // repeats a pattern.
+        let mut pats = enumerate_patterns(6, 3);
+        assert_eq!(pats.len() as u128, patterns_at_level(6, 3));
+        pats.sort();
+        pats.dedup();
+        assert_eq!(pats.len() as u128, patterns_at_level(6, 3));
     }
 
     #[test]

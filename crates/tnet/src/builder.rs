@@ -14,7 +14,8 @@
 //!   for the ablation that contracts the double network at a given
 //!   approximation level without splitting.
 
-use crate::network::{LegId, TensorNetwork};
+use crate::network::{LegId, NodeId, OrderStrategy, TensorNetwork};
+use crate::plan::ContractionPlan;
 use qns_circuit::Circuit;
 use qns_linalg::{Complex64, Matrix};
 use qns_noise::NoisyCircuit;
@@ -133,6 +134,19 @@ pub fn amplitude_network_with(
     insertions: &[Insertion],
     conjugate: bool,
 ) -> TensorNetwork {
+    amplitude_network_impl(circuit, psi, v, insertions, conjugate).0
+}
+
+/// As [`amplitude_network_with`], also returning the node id of each
+/// insertion (index-aligned with `insertions`) so callers can swap the
+/// spliced matrices without rebuilding the network.
+fn amplitude_network_impl(
+    circuit: &Circuit,
+    psi: &ProductState,
+    v: &ProductState,
+    insertions: &[Insertion],
+    conjugate: bool,
+) -> (TensorNetwork, Vec<NodeId>) {
     let n = circuit.n_qubits();
     assert_eq!(psi.n_qubits(), n, "input state size mismatch");
     assert_eq!(v.n_qubits(), n, "test state size mismatch");
@@ -156,16 +170,22 @@ pub fn amplitude_network_with(
         net.add(t, vec![cur[q]]);
     }
 
-    let splice = |net: &mut TensorNetwork, cur: &mut Vec<LegId>, ins: &Insertion| {
+    let mut insertion_nodes: Vec<Option<NodeId>> = vec![None; insertions.len()];
+    let splice = |net: &mut TensorNetwork, cur: &mut Vec<LegId>, ins: &Insertion| -> NodeId {
         let new = net.fresh_leg();
         let t = Tensor::from_matrix(&maybe_conj_m(ins.matrix.clone()));
-        net.add(t, vec![new, cur[ins.qubit]]);
+        let id = net.add(t, vec![new, cur[ins.qubit]]);
         cur[ins.qubit] = new;
+        id
     };
 
     // Pre-circuit insertions.
-    for ins in insertions.iter().filter(|i| i.after_gate == usize::MAX) {
-        splice(&mut net, &mut cur, ins);
+    for (i, ins) in insertions
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.after_gate == usize::MAX)
+    {
+        insertion_nodes[i] = Some(splice(&mut net, &mut cur, ins));
     }
 
     for (g, op) in circuit.operations().iter().enumerate() {
@@ -190,8 +210,12 @@ pub fn amplitude_network_with(
             }
             _ => unreachable!("gates are 1- or 2-qubit"),
         }
-        for ins in insertions.iter().filter(|i| i.after_gate == g) {
-            splice(&mut net, &mut cur, ins);
+        for (i, ins) in insertions
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.after_gate == g)
+        {
+            insertion_nodes[i] = Some(splice(&mut net, &mut cur, ins));
         }
     }
 
@@ -202,12 +226,103 @@ pub fn amplitude_network_with(
         let t = maybe_conj_t(Tensor::from_vec(vec![f[0].conj(), f[1].conj()], vec![2]));
         net.add(t, vec![cur[q]]);
     }
-    net
+    let insertion_nodes = insertion_nodes
+        .into_iter()
+        .map(|id| id.expect("every validated insertion is spliced"))
+        .collect();
+    (net, insertion_nodes)
 }
 
 /// The noiseless amplitude network `⟨v|C|ψ⟩`.
 pub fn amplitude_network(circuit: &Circuit, psi: &ProductState, v: &ProductState) -> TensorNetwork {
     amplitude_network_with(circuit, psi, v, &[], false)
+}
+
+/// A pre-built amplitude network whose single-qubit insertions are
+/// *substitution slots*: the network topology (and therefore any
+/// [`ContractionPlan`] computed from it) is fixed at construction,
+/// while the 2×2 matrices spliced at the insertion points can be
+/// swapped between executions with [`AmplitudeSkeleton::set_insertion`].
+///
+/// This is the plan-once/execute-many building block of the
+/// approximation algorithm: every substitution pattern shares one
+/// skeleton per split half, so the greedy order search runs once per
+/// run instead of once per pattern.
+#[derive(Clone, Debug)]
+pub struct AmplitudeSkeleton {
+    net: TensorNetwork,
+    insertion_nodes: Vec<NodeId>,
+    conjugate: bool,
+}
+
+impl AmplitudeSkeleton {
+    /// Builds the skeleton of `⟨v|C|ψ⟩` with the given insertions
+    /// (their matrices serve as initial payloads; identity is the
+    /// conventional placeholder). `conjugate` has the same meaning as
+    /// in [`amplitude_network_with`] and also applies to matrices
+    /// passed to [`AmplitudeSkeleton::set_insertion`] later.
+    ///
+    /// # Panics
+    ///
+    /// As [`amplitude_network_with`].
+    pub fn new(
+        circuit: &Circuit,
+        psi: &ProductState,
+        v: &ProductState,
+        insertions: &[Insertion],
+        conjugate: bool,
+    ) -> Self {
+        let (net, insertion_nodes) = amplitude_network_impl(circuit, psi, v, insertions, conjugate);
+        AmplitudeSkeleton {
+            net,
+            insertion_nodes,
+            conjugate,
+        }
+    }
+
+    /// Replaces the matrix of insertion slot `i` (index into the
+    /// `insertions` slice the skeleton was built with). The matrix is
+    /// entry-wise conjugated first when the skeleton is the conjugate
+    /// half, exactly as [`amplitude_network_with`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `m` is not 2×2.
+    pub fn set_insertion(&mut self, i: usize, m: &Matrix) {
+        let m = if self.conjugate { m.conj() } else { m.clone() };
+        self.set_insertion_tensor(i, Tensor::from_matrix(&m));
+    }
+
+    /// Replaces the payload of insertion slot `i` with a pre-built
+    /// tensor, installed **verbatim** — unlike
+    /// [`AmplitudeSkeleton::set_insertion`], no conjugation is applied
+    /// even on the conjugate half. The hot-loop entry point for
+    /// callers that resolve their payload tensors (including any
+    /// conjugation) once and swap them per execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the tensor is not 2×2.
+    pub fn set_insertion_tensor(&mut self, i: usize, t: Tensor) {
+        self.net.set_tensor(self.insertion_nodes[i], t);
+    }
+
+    /// Number of substitution slots.
+    pub fn insertion_count(&self) -> usize {
+        self.insertion_nodes.len()
+    }
+
+    /// The underlying network (current payloads included) — pass to
+    /// [`ContractionPlan::execute_network`].
+    pub fn network(&self) -> &TensorNetwork {
+        &self.net
+    }
+
+    /// Plans the skeleton's contraction once; the plan stays valid for
+    /// every later [`AmplitudeSkeleton::set_insertion`].
+    pub fn plan(&self, strategy: OrderStrategy) -> ContractionPlan {
+        self.net.plan(strategy)
+    }
 }
 
 /// Builds the paper's double-size noisy network (Fig. 2) for
@@ -229,6 +344,18 @@ pub fn double_network(
     v: &ProductState,
     replacements: &HashMap<usize, (Matrix, Matrix)>,
 ) -> TensorNetwork {
+    double_network_impl(noisy, psi, v, replacements).0
+}
+
+/// As [`double_network`], also returning the `(upper, lower)` node
+/// pair of every Kronecker replacement, keyed like `replacements`, so
+/// callers can swap the substituted factors without rebuilding.
+fn double_network_impl(
+    noisy: &NoisyCircuit,
+    psi: &ProductState,
+    v: &ProductState,
+    replacements: &HashMap<usize, (Matrix, Matrix)>,
+) -> (TensorNetwork, HashMap<usize, (NodeId, NodeId)>) {
     let circuit = noisy.circuit();
     let n = circuit.n_qubits();
     assert_eq!(psi.n_qubits(), n, "input state size mismatch");
@@ -252,19 +379,23 @@ pub fn double_network(
         );
     }
 
+    let mut replacement_nodes: HashMap<usize, (NodeId, NodeId)> = HashMap::new();
+
     // Initial noise events (before any gate).
     for (idx_off, e) in noisy.initial_events().iter().enumerate() {
         // Initial events are keyed after regular events in `replacements`
         // by convention: index = noisy.events().len() + offset.
         let key = noisy.events().len() + idx_off;
-        add_noise_tensor(
+        if let Some(pair) = add_noise_tensor(
             &mut net,
             &mut upper,
             &mut lower,
             e.qubit,
             &e.kraus,
             replacements.get(&key),
-        );
+        ) {
+            replacement_nodes.insert(key, pair);
+        }
     }
 
     let events = noisy.events();
@@ -304,14 +435,16 @@ pub fn double_network(
             if e.after_gate != g {
                 break;
             }
-            add_noise_tensor(
+            if let Some(pair) = add_noise_tensor(
                 &mut net,
                 &mut upper,
                 &mut lower,
                 e.qubit,
                 &e.kraus,
                 replacements.get(idx),
-            );
+            ) {
+                replacement_nodes.insert(*idx, pair);
+            }
             ev_iter.next();
         }
     }
@@ -325,11 +458,78 @@ pub fn double_network(
         );
         net.add(Tensor::from_vec(vec![f[0], f[1]], vec![2]), vec![lower[q]]);
     }
-    net
+    (net, replacement_nodes)
+}
+
+/// The paper's double-size network with **every** noise event replaced
+/// by a swappable Kronecker pair `(A, B)` — the unsplit evaluator's
+/// plan-once/execute-many skeleton.
+///
+/// Replacement slots are keyed like [`double_network`]'s
+/// `replacements` map (regular events by index, initial events after
+/// them) and start as `I ⊗ I` placeholders; swap them with
+/// [`DoubleSkeleton::set_replacement`] and replay a plan computed once
+/// from [`DoubleSkeleton::plan`].
+#[derive(Clone, Debug)]
+pub struct DoubleSkeleton {
+    net: TensorNetwork,
+    replacement_nodes: Vec<(NodeId, NodeId)>,
+}
+
+impl DoubleSkeleton {
+    /// Builds the all-replaced double network for `noisy` with
+    /// identity placeholders in every slot.
+    ///
+    /// # Panics
+    ///
+    /// As [`double_network`].
+    pub fn new(noisy: &NoisyCircuit, psi: &ProductState, v: &ProductState) -> Self {
+        let n_slots = noisy.events().len() + noisy.initial_events().len();
+        let eye = Matrix::identity(2);
+        let placeholders: HashMap<usize, (Matrix, Matrix)> = (0..n_slots)
+            .map(|k| (k, (eye.clone(), eye.clone())))
+            .collect();
+        let (net, by_key) = double_network_impl(noisy, psi, v, &placeholders);
+        let replacement_nodes = (0..n_slots).map(|k| by_key[&k]).collect();
+        DoubleSkeleton {
+            net,
+            replacement_nodes,
+        }
+    }
+
+    /// Sets replacement slot `key` to the Kronecker pair `(a, b)` (`a`
+    /// on the upper rail, `b` on the lower rail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range or a matrix is not 2×2.
+    pub fn set_replacement(&mut self, key: usize, a: &Matrix, b: &Matrix) {
+        let (up, lo) = self.replacement_nodes[key];
+        self.net.set_tensor(up, Tensor::from_matrix(a));
+        self.net.set_tensor(lo, Tensor::from_matrix(b));
+    }
+
+    /// Number of replacement slots (the circuit's noise-event count).
+    pub fn replacement_count(&self) -> usize {
+        self.replacement_nodes.len()
+    }
+
+    /// The underlying network (current payloads included).
+    pub fn network(&self) -> &TensorNetwork {
+        &self.net
+    }
+
+    /// Plans the skeleton's contraction once; valid for every later
+    /// [`DoubleSkeleton::set_replacement`].
+    pub fn plan(&self, strategy: OrderStrategy) -> ContractionPlan {
+        self.net.plan(strategy)
+    }
 }
 
 /// Adds a noise superoperator tensor (or its Kronecker replacement)
-/// bridging the upper and lower rails of qubit `q`.
+/// bridging the upper and lower rails of qubit `q`. For a replacement,
+/// returns the `(upper, lower)` node pair so the factors can be
+/// swapped later.
 fn add_noise_tensor(
     net: &mut TensorNetwork,
     upper: &mut [LegId],
@@ -337,15 +537,16 @@ fn add_noise_tensor(
     q: usize,
     kraus: &qns_noise::Kraus,
     replacement: Option<&(Matrix, Matrix)>,
-) {
+) -> Option<(NodeId, NodeId)> {
     match replacement {
         Some((a, b)) => {
             let nu = net.fresh_leg();
-            net.add(Tensor::from_matrix(a), vec![nu, upper[q]]);
+            let id_up = net.add(Tensor::from_matrix(a), vec![nu, upper[q]]);
             upper[q] = nu;
             let nl = net.fresh_leg();
-            net.add(Tensor::from_matrix(b), vec![nl, lower[q]]);
+            let id_lo = net.add(Tensor::from_matrix(b), vec![nl, lower[q]]);
             lower[q] = nl;
+            Some((id_up, id_lo))
         }
         None => {
             // M_E is 4×4 with row (i1,i2), col (j1,j2): reshape to
@@ -357,6 +558,7 @@ fn add_noise_tensor(
             net.add(t, vec![nu, nl, upper[q], lower[q]]);
             upper[q] = nu;
             lower[q] = nl;
+            None
         }
     }
 }
@@ -442,6 +644,83 @@ mod tests {
             .0
             .scalar_value();
         assert!(with_ins.approx_eq(direct, 1e-12));
+    }
+
+    #[test]
+    fn amplitude_skeleton_matches_rebuilt_networks() {
+        // Swapping insertion payloads into one skeleton must reproduce
+        // a freshly built network per payload, on both halves.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1);
+        let psi = ProductState::all_zeros(2);
+        let v = ProductState::basis(2, 0b01);
+        let points = [
+            Insertion {
+                after_gate: usize::MAX,
+                qubit: 1,
+                matrix: Matrix::identity(2),
+            },
+            Insertion {
+                after_gate: 1,
+                qubit: 0,
+                matrix: Matrix::identity(2),
+            },
+        ];
+        for conjugate in [false, true] {
+            let mut skel = AmplitudeSkeleton::new(&c, &psi, &v, &points, conjugate);
+            assert_eq!(skel.insertion_count(), 2);
+            let plan = skel.plan(OrderStrategy::Greedy);
+            for (m0, m1) in [
+                (qns_circuit::Gate::X.matrix(), qns_circuit::Gate::T.matrix()),
+                (qns_circuit::Gate::H.matrix(), qns_circuit::Gate::S.matrix()),
+            ] {
+                skel.set_insertion(0, &m0);
+                skel.set_insertion(1, &m1);
+                let replayed = plan.execute_network(skel.network()).0.scalar_value();
+                let mut fresh_ins = points.to_vec();
+                fresh_ins[0].matrix = m0.clone();
+                fresh_ins[1].matrix = m1.clone();
+                let fresh = amplitude_network_with(&c, &psi, &v, &fresh_ins, conjugate)
+                    .contract_all(OrderStrategy::Greedy)
+                    .0
+                    .scalar_value();
+                assert!(
+                    replayed.approx_eq(fresh, 1e-12),
+                    "conjugate={conjugate}: {replayed} vs {fresh}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_skeleton_matches_rebuilt_networks() {
+        use qns_noise::channels;
+        let mut noisy =
+            NoisyCircuit::inject_random(ghz(3), &channels::amplitude_damping(0.1), 2, 21);
+        noisy.push_initial(0, channels::depolarizing(0.05));
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, 0b110);
+        let mut skel = DoubleSkeleton::new(&noisy, &psi, &v);
+        assert_eq!(skel.replacement_count(), 3);
+        let plan = skel.plan(OrderStrategy::Greedy);
+
+        let subs = [
+            qns_circuit::Gate::X.matrix(),
+            qns_circuit::Gate::T.matrix(),
+            Matrix::identity(2),
+        ];
+        let mut repl = HashMap::new();
+        for key in 0..3usize {
+            let (a, b) = (subs[key].clone(), subs[(key + 1) % 3].conj());
+            skel.set_replacement(key, &a, &b);
+            repl.insert(key, (a, b));
+        }
+        let replayed = plan.execute_network(skel.network()).0.scalar_value();
+        let fresh = double_network(&noisy, &psi, &v, &repl)
+            .contract_all(OrderStrategy::Greedy)
+            .0
+            .scalar_value();
+        assert!(replayed.approx_eq(fresh, 1e-12), "{replayed} vs {fresh}");
     }
 
     #[test]

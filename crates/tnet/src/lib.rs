@@ -7,10 +7,18 @@
 //! * [`network`] — a [`network::TensorNetwork`] of dense tensors
 //!   connected by shared legs, with greedy or sequential contraction
 //!   ordering.
+//! * [`plan`] — plan-once/execute-many contraction: a
+//!   [`plan::ContractionPlan`] captures the order search's result for
+//!   one network skeleton and replays it against fresh payloads, so a
+//!   topology contracted millions of times (the approximation
+//!   algorithm's pattern sum) searches exactly once.
 //! * [`builder`] — circuit-to-network translation: the single-side
 //!   amplitude network `⟨v|C|ψ⟩` and the paper's **double-size noisy
 //!   network** (Fig. 2) in which each noise channel appears as its
-//!   superoperator tensor `M_E = Σ E_k ⊗ E_k*` bridging the two halves.
+//!   superoperator tensor `M_E = Σ E_k ⊗ E_k*` bridging the two halves,
+//!   plus the reusable [`builder::AmplitudeSkeleton`] /
+//!   [`builder::DoubleSkeleton`] whose insertion payloads can be
+//!   swapped between plan executions.
 //! * [`simulator`] — the **TN-based exact method** (contract the double
 //!   network) and a TN-based quantum-trajectories variant.
 //!
@@ -34,4 +42,5 @@
 
 pub mod builder;
 pub mod network;
+pub mod plan;
 pub mod simulator;

@@ -6,8 +6,15 @@
 //! the network to a single tensor using either a greedy pairwise
 //! ordering (minimize the size of the produced intermediate) or the
 //! naive sequential order — the ablation pair called out in DESIGN.md.
+//!
+//! The order search depends only on the network's *skeleton* (shapes
+//! and legs), so it can be captured once as a
+//! [`crate::plan::ContractionPlan`] via [`TensorNetwork::plan`] and
+//! replayed against fresh payloads ([`TensorNetwork::set_tensor`]) —
+//! the plan-once/execute-many path the approximation algorithm's
+//! pattern sum runs on. `contract_all` itself is plan-then-execute.
 
-use qns_linalg::Complex64;
+use crate::plan::ContractionPlan;
 use qns_tensor::Tensor;
 use std::collections::HashMap;
 
@@ -16,7 +23,7 @@ pub type LegId = usize;
 
 /// Identifier of a node within a [`TensorNetwork`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct NodeId(usize);
+pub struct NodeId(pub(crate) usize);
 
 /// Contraction-order strategy.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,6 +44,26 @@ pub struct ContractionStats {
     pub max_intermediate: usize,
     /// Total scalar multiply-adds proxy: Σ (m·k·n) over contractions.
     pub flops_proxy: u128,
+    /// Number of contraction-order searches performed (1 for a fresh
+    /// [`TensorNetwork::contract_all`] or [`TensorNetwork::plan`], 0
+    /// when replaying a cached [`ContractionPlan`]).
+    pub order_searches: usize,
+    /// Number of times a precomputed [`ContractionPlan`] was replayed
+    /// instead of searched.
+    pub plan_reuses: usize,
+}
+
+impl ContractionStats {
+    /// Accumulates `other` into `self` (summing counters, taking the
+    /// max of `max_intermediate`) — for aggregating the per-term stats
+    /// of a pattern sum into one run-level report.
+    pub fn absorb(&mut self, other: &ContractionStats) {
+        self.contractions += other.contractions;
+        self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
+        self.flops_proxy += other.flops_proxy;
+        self.order_searches += other.order_searches;
+        self.plan_reuses += other.plan_reuses;
+    }
 }
 
 /// A network of dense tensors connected by shared legs.
@@ -56,7 +83,12 @@ pub struct ContractionStats {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct TensorNetwork {
-    nodes: Vec<Option<(Tensor, Vec<LegId>)>>,
+    nodes: Vec<(Tensor, Vec<LegId>)>,
+    /// How many nodes use each leg (≤ 2), kept incrementally so
+    /// [`TensorNetwork::add`] is `O(legs)` instead of rescanning every
+    /// live node per leg (quadratic in gate count when building
+    /// circuit networks).
+    leg_uses: HashMap<LegId, u8>,
     next_leg: LegId,
 }
 
@@ -88,163 +120,90 @@ impl TensorNetwork {
             );
         }
         for l in &legs {
-            let uses = self
-                .live_nodes()
-                .filter(|(_, (_, ls))| ls.contains(l))
-                .count();
-            assert!(uses < 2, "leg {l} already connects two nodes");
+            let uses = self.leg_uses.entry(*l).or_insert(0);
+            assert!(*uses < 2, "leg {l} already connects two nodes");
+            *uses += 1;
             self.next_leg = self.next_leg.max(l + 1);
         }
         let id = self.nodes.len();
-        self.nodes.push(Some((tensor, legs)));
+        self.nodes.push((tensor, legs));
         NodeId(id)
     }
 
-    /// Number of live (uncontracted) nodes.
+    /// Replaces the payload of node `id`, keeping its legs. The new
+    /// tensor must have the original's shape, so every
+    /// [`ContractionPlan`] computed from this network stays valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs from the current tensor's.
+    pub fn set_tensor(&mut self, id: NodeId, tensor: Tensor) {
+        let slot = &mut self.nodes[id.0].0;
+        assert_eq!(
+            slot.shape(),
+            tensor.shape(),
+            "replacement tensor must keep the node's shape"
+        );
+        *slot = tensor;
+    }
+
+    /// The id of the `i`-th added node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ node_count()`.
+    pub fn node_id(&self, i: usize) -> NodeId {
+        assert!(i < self.nodes.len(), "node index out of range");
+        NodeId(i)
+    }
+
+    /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.is_some()).count()
+        self.nodes.len()
     }
 
-    fn live_nodes(&self) -> impl Iterator<Item = (usize, &(Tensor, Vec<LegId>))> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|t| (i, t)))
+    /// The node tensors in insertion order (the payload vector a
+    /// [`ContractionPlan`] executes against).
+    pub fn node_tensors(&self) -> impl Iterator<Item = &Tensor> {
+        self.nodes.iter().map(|(t, _)| t)
     }
 
-    /// Legs appearing on exactly one live node (the network's outputs).
+    /// Legs appearing on exactly one node (the network's outputs).
     pub fn open_legs(&self) -> Vec<LegId> {
-        let mut count: HashMap<LegId, usize> = HashMap::new();
-        for (_, (_, legs)) in self.live_nodes() {
-            for &l in legs {
-                *count.entry(l).or_insert(0) += 1;
-            }
-        }
-        let mut open: Vec<LegId> = count
-            .into_iter()
-            .filter_map(|(l, c)| (c == 1).then_some(l))
+        let mut open: Vec<LegId> = self
+            .leg_uses
+            .iter()
+            .filter_map(|(&l, &c)| (c == 1).then_some(l))
             .collect();
         open.sort_unstable();
         open
     }
 
-    /// Contracts two nodes over all their shared legs (outer product if
-    /// none) and inserts the result. Returns the new node.
-    fn contract_pair(&mut self, a: usize, b: usize, stats: &mut ContractionStats) -> usize {
-        let (ta, la) = self.nodes[a].take().expect("node a live");
-        let (tb, lb) = self.nodes[b].take().expect("node b live");
-        let shared: Vec<LegId> = la.iter().copied().filter(|l| lb.contains(l)).collect();
-        let axes_a: Vec<usize> = shared
+    /// Runs the order search once and captures the result as a
+    /// reusable [`ContractionPlan`] (see [`crate::plan`]).
+    pub fn plan(&self, strategy: OrderStrategy) -> ContractionPlan {
+        let skeleton = self
+            .nodes
             .iter()
-            .map(|l| la.iter().position(|x| x == l).expect("shared in a"))
+            .map(|(t, legs)| (t.shape().to_vec(), legs.clone()))
             .collect();
-        let axes_b: Vec<usize> = shared
-            .iter()
-            .map(|l| lb.iter().position(|x| x == l).expect("shared in b"))
-            .collect();
-        let result = ta.contract(&tb, &axes_a, &axes_b);
-        let mut legs: Vec<LegId> = la.iter().copied().filter(|l| !shared.contains(l)).collect();
-        legs.extend(lb.iter().copied().filter(|l| !shared.contains(l)));
-
-        stats.contractions += 1;
-        stats.max_intermediate = stats.max_intermediate.max(result.len());
-        let k: usize = axes_a.iter().map(|&i| ta.shape()[i]).product();
-        let m = ta.len() / k.max(1);
-        let n = tb.len() / k.max(1);
-        stats.flops_proxy += (m as u128) * (k.max(1) as u128) * (n as u128);
-
-        let id = self.nodes.len();
-        self.nodes.push(Some((result, legs)));
-        id
-    }
-
-    /// Result size (elements) of contracting nodes `a` and `b`.
-    fn pair_cost(&self, a: usize, b: usize) -> usize {
-        let (ta, la) = self.nodes[a].as_ref().expect("live");
-        let (tb, lb) = self.nodes[b].as_ref().expect("live");
-        let mut size = 1usize;
-        for (i, l) in la.iter().enumerate() {
-            if !lb.contains(l) {
-                size = size.saturating_mul(ta.shape()[i]);
-            }
-        }
-        for (i, l) in lb.iter().enumerate() {
-            if !la.contains(l) {
-                size = size.saturating_mul(tb.shape()[i]);
-            }
-        }
-        size
+        ContractionPlan::from_skeleton(skeleton, strategy)
     }
 
     /// Contracts the whole network to a single tensor.
     ///
     /// Returns the final tensor (axes ordered by ascending open-leg id)
     /// and contraction statistics. An empty network yields the scalar 1.
-    pub fn contract_all(mut self, strategy: OrderStrategy) -> (Tensor, ContractionStats) {
-        let mut stats = ContractionStats::default();
-        if self.node_count() == 0 {
-            return (Tensor::scalar(Complex64::ONE), stats);
-        }
-        loop {
-            let live: Vec<usize> = self.live_nodes().map(|(i, _)| i).collect();
-            if live.len() == 1 {
-                break;
-            }
-            // Candidate pairs: connected ones preferred; fall back to the
-            // first two (outer product) for disconnected components.
-            let mut best: Option<(usize, usize, usize)> = None;
-            match strategy {
-                OrderStrategy::Greedy => {
-                    for (ii, &a) in live.iter().enumerate() {
-                        let legs_a = &self.nodes[a].as_ref().expect("live").1;
-                        for &b in live.iter().skip(ii + 1) {
-                            let connected = {
-                                let legs_b = &self.nodes[b].as_ref().expect("live").1;
-                                legs_a.iter().any(|l| legs_b.contains(l))
-                            };
-                            if !connected {
-                                continue;
-                            }
-                            let cost = self.pair_cost(a, b);
-                            if best.map(|(_, _, c)| cost < c).unwrap_or(true) {
-                                best = Some((a, b, cost));
-                            }
-                        }
-                    }
-                }
-                OrderStrategy::Sequential => {
-                    let a = live[0];
-                    let legs_a = &self.nodes[a].as_ref().expect("live").1;
-                    for &b in live.iter().skip(1) {
-                        let legs_b = &self.nodes[b].as_ref().expect("live").1;
-                        if legs_a.iter().any(|l| legs_b.contains(l)) {
-                            best = Some((a, b, 0));
-                            break;
-                        }
-                    }
-                }
-            }
-            let (a, b) = match best {
-                Some((a, b, _)) => (a, b),
-                // Disconnected network: outer-product the first two.
-                None => (live[0], live[1]),
-            };
-            self.contract_pair(a, b, &mut stats);
-        }
-        let idx = self
-            .live_nodes()
-            .map(|(i, _)| i)
-            .next()
-            .expect("one node remains");
-        let (tensor, legs) = self.nodes[idx].take().expect("live");
-        // Normalize axis order to ascending leg id.
-        let mut order: Vec<usize> = (0..legs.len()).collect();
-        order.sort_by_key(|&i| legs[i]);
-        let tensor = if order.windows(2).all(|w| w[0] < w[1]) {
-            tensor
-        } else {
-            tensor.permute(&order)
-        };
+    ///
+    /// Implemented as [`TensorNetwork::plan`] followed by one
+    /// [`ContractionPlan::execute_network`], so the executed order *is*
+    /// the searched order; callers contracting one topology repeatedly
+    /// should hold the plan themselves and replay it.
+    pub fn contract_all(self, strategy: OrderStrategy) -> (Tensor, ContractionStats) {
+        let plan = self.plan(strategy);
+        let (tensor, mut stats) = plan.execute_network(&self);
+        stats.order_searches = 1;
+        stats.plan_reuses = 0;
         (tensor, stats)
     }
 }
@@ -252,7 +211,7 @@ impl TensorNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qns_linalg::{cr, Matrix};
+    use qns_linalg::{cr, Complex64, Matrix};
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
@@ -305,6 +264,8 @@ mod tests {
             assert_eq!(t.shape(), &[2, 2]);
             assert!(t.to_matrix().approx_eq(&expect, 1e-10), "{strategy:?}");
             assert_eq!(stats.contractions, 2);
+            assert_eq!(stats.order_searches, 1);
+            assert_eq!(stats.plan_reuses, 0);
         }
     }
 
@@ -383,6 +344,32 @@ mod tests {
         net.add(id, vec![b, c]);
         let (t, _) = net.contract_all(OrderStrategy::Greedy);
         assert!(t.to_matrix().approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn set_tensor_swaps_payload_in_place() {
+        let mut net = TensorNetwork::new();
+        let bond = net.fresh_leg();
+        let a = net.add(
+            Tensor::from_vec(vec![cr(1.0), cr(2.0)], vec![2]),
+            vec![bond],
+        );
+        net.add(
+            Tensor::from_vec(vec![cr(3.0), cr(4.0)], vec![2]),
+            vec![bond],
+        );
+        net.set_tensor(a, Tensor::from_vec(vec![cr(5.0), cr(6.0)], vec![2]));
+        let (t, _) = net.contract_all(OrderStrategy::Greedy);
+        assert_eq!(t.scalar_value(), cr(39.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must keep the node's shape")]
+    fn set_tensor_rejects_shape_change() {
+        let mut net = TensorNetwork::new();
+        let l = net.fresh_leg();
+        let id = net.add(Tensor::zeros(vec![2]), vec![l]);
+        net.set_tensor(id, Tensor::zeros(vec![3]));
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! Plan-once/execute-many contraction.
+//!
+//! The approximation algorithm's pattern sum contracts the *same*
+//! network topology millions of times — only the 2×2 noise-substitution
+//! payloads differ between patterns. A [`ContractionPlan`] captures
+//! everything that depends on the skeleton alone (leg topology + tensor
+//! shapes): the pair-contraction sequence chosen by the order search,
+//! the contracted axes of every step, and the final output-axis
+//! permutation. [`ContractionPlan::execute`] then replays that sequence
+//! against fresh tensor payloads without re-running the search or
+//! re-validating the network.
+//!
+//! Plans are produced by [`TensorNetwork::plan`];
+//! [`TensorNetwork::contract_all`] is itself implemented as
+//! plan-then-execute, so the replayed order is the searched order by
+//! construction.
+//!
+//! ```
+//! use qns_tnet::network::TensorNetwork;
+//! use qns_tensor::Tensor;
+//! use qns_linalg::cr;
+//!
+//! let mut net = TensorNetwork::new();
+//! let bond = net.fresh_leg();
+//! let a = net.add(Tensor::from_vec(vec![cr(1.0), cr(2.0)], vec![2]), vec![bond]);
+//! net.add(Tensor::from_vec(vec![cr(3.0), cr(4.0)], vec![2]), vec![bond]);
+//!
+//! // Plan once, execute for two different payloads of node `a`.
+//! let plan = net.plan(Default::default());
+//! assert_eq!(plan.execute_network(&net).0.scalar_value(), cr(11.0));
+//! net.set_tensor(a, Tensor::from_vec(vec![cr(5.0), cr(6.0)], vec![2]));
+//! assert_eq!(plan.execute_network(&net).0.scalar_value(), cr(39.0));
+//! ```
+
+use crate::network::{ContractionStats, LegId, OrderStrategy, TensorNetwork};
+use qns_linalg::Complex64;
+use qns_tensor::Tensor;
+use std::borrow::Cow;
+
+/// One pair contraction in a [`ContractionPlan`].
+///
+/// Slots `0..n_inputs` hold the input tensors (in node order); step `i`
+/// consumes two earlier slots and produces slot `n_inputs + i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Slot index of the left operand.
+    pub lhs: usize,
+    /// Slot index of the right operand.
+    pub rhs: usize,
+    /// Axes of the left operand contracted in this step.
+    pub axes_lhs: Vec<usize>,
+    /// Axes of the right operand contracted in this step (aligned with
+    /// `axes_lhs`).
+    pub axes_rhs: Vec<usize>,
+}
+
+/// A precomputed contraction schedule for one network skeleton.
+///
+/// Computed once by [`TensorNetwork::plan`] (running the configured
+/// order search on shapes and legs only), then replayed any number of
+/// times via [`ContractionPlan::execute`] /
+/// [`ContractionPlan::execute_network`] against tensors with the same
+/// shapes. Replay performs no order search and no topology validation,
+/// which is what makes the pattern sum's per-term cost pure arithmetic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContractionPlan {
+    n_inputs: usize,
+    input_shapes: Vec<Vec<usize>>,
+    steps: Vec<PlanStep>,
+    /// Permutation bringing the final tensor's axes into ascending
+    /// open-leg order (`None` when already sorted).
+    output_perm: Option<Vec<usize>>,
+    /// Shape-derived statistics of one replay (contractions,
+    /// max intermediate, flops proxy) — constant across executions.
+    replay_stats: ContractionStats,
+    strategy: OrderStrategy,
+}
+
+/// Skeleton view of a node during planning: shape + legs, no payload.
+type SkeletonNode = (Vec<usize>, Vec<LegId>);
+
+impl ContractionPlan {
+    /// Runs the `strategy` order search over a skeleton (the
+    /// shape/leg pairs of a network's nodes, in node order) and records
+    /// the chosen pair-contraction sequence.
+    ///
+    /// The search is the same one [`TensorNetwork::contract_all`]
+    /// historically interleaved with contraction — greedy
+    /// smallest-intermediate pairing (or insertion order for
+    /// [`OrderStrategy::Sequential`]), with disconnected components
+    /// falling back to an outer product of the first two live nodes —
+    /// so replaying the plan reproduces the un-planned contraction
+    /// exactly.
+    pub(crate) fn from_skeleton(skeleton: Vec<SkeletonNode>, strategy: OrderStrategy) -> Self {
+        let n_inputs = skeleton.len();
+        let input_shapes: Vec<Vec<usize>> = skeleton.iter().map(|(s, _)| s.clone()).collect();
+        let mut slots: Vec<Option<SkeletonNode>> = skeleton.into_iter().map(Some).collect();
+        let mut steps = Vec::new();
+        let mut replay_stats = ContractionStats::default();
+
+        if n_inputs > 0 {
+            loop {
+                let live: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_some()).collect();
+                if live.len() == 1 {
+                    break;
+                }
+                // Candidate pairs: connected ones preferred; fall back to
+                // the first two (outer product) for disconnected
+                // components.
+                let mut best: Option<(usize, usize, usize)> = None;
+                match strategy {
+                    OrderStrategy::Greedy => {
+                        for (ii, &a) in live.iter().enumerate() {
+                            let legs_a = &slots[a].as_ref().expect("live").1;
+                            for &b in live.iter().skip(ii + 1) {
+                                let connected = {
+                                    let legs_b = &slots[b].as_ref().expect("live").1;
+                                    legs_a.iter().any(|l| legs_b.contains(l))
+                                };
+                                if !connected {
+                                    continue;
+                                }
+                                let cost = pair_cost(&slots, a, b);
+                                if best.map(|(_, _, c)| cost < c).unwrap_or(true) {
+                                    best = Some((a, b, cost));
+                                }
+                            }
+                        }
+                    }
+                    OrderStrategy::Sequential => {
+                        let a = live[0];
+                        let legs_a = &slots[a].as_ref().expect("live").1;
+                        for &b in live.iter().skip(1) {
+                            let legs_b = &slots[b].as_ref().expect("live").1;
+                            if legs_a.iter().any(|l| legs_b.contains(l)) {
+                                best = Some((a, b, 0));
+                                break;
+                            }
+                        }
+                    }
+                }
+                let (a, b) = match best {
+                    Some((a, b, _)) => (a, b),
+                    // Disconnected network: outer-product the first two.
+                    None => (live[0], live[1]),
+                };
+
+                let (sa, la) = slots[a].take().expect("node a live");
+                let (sb, lb) = slots[b].take().expect("node b live");
+                let shared: Vec<LegId> = la.iter().copied().filter(|l| lb.contains(l)).collect();
+                let axes_lhs: Vec<usize> = shared
+                    .iter()
+                    .map(|l| la.iter().position(|x| x == l).expect("shared in a"))
+                    .collect();
+                let axes_rhs: Vec<usize> = shared
+                    .iter()
+                    .map(|l| lb.iter().position(|x| x == l).expect("shared in b"))
+                    .collect();
+
+                // Result shape: free axes of `a` then free axes of `b`,
+                // matching `Tensor::contract`'s output layout.
+                let mut shape = Vec::with_capacity(la.len() + lb.len() - 2 * shared.len());
+                let mut legs = Vec::with_capacity(shape.capacity());
+                for (i, l) in la.iter().enumerate() {
+                    if !shared.contains(l) {
+                        shape.push(sa[i]);
+                        legs.push(*l);
+                    }
+                }
+                for (i, l) in lb.iter().enumerate() {
+                    if !shared.contains(l) {
+                        shape.push(sb[i]);
+                        legs.push(*l);
+                    }
+                }
+
+                replay_stats.contractions += 1;
+                let result_len: usize = shape.iter().product();
+                replay_stats.max_intermediate = replay_stats.max_intermediate.max(result_len);
+                let k: usize = axes_lhs.iter().map(|&i| sa[i]).product();
+                let a_len: usize = sa.iter().product();
+                let b_len: usize = sb.iter().product();
+                let m = a_len / k.max(1);
+                let n = b_len / k.max(1);
+                replay_stats.flops_proxy += (m as u128) * (k.max(1) as u128) * (n as u128);
+
+                steps.push(PlanStep {
+                    lhs: a,
+                    rhs: b,
+                    axes_lhs,
+                    axes_rhs,
+                });
+                slots.push(Some((shape, legs)));
+            }
+        }
+
+        // Normalize output-axis order to ascending leg id.
+        let output_perm = slots
+            .iter()
+            .rev()
+            .find_map(|s| s.as_ref())
+            .and_then(|(_, legs)| {
+                let mut order: Vec<usize> = (0..legs.len()).collect();
+                order.sort_by_key(|&i| legs[i]);
+                (!order.windows(2).all(|w| w[0] < w[1])).then_some(order)
+            });
+
+        ContractionPlan {
+            n_inputs,
+            input_shapes,
+            steps,
+            output_perm,
+            replay_stats,
+            strategy,
+        }
+    }
+
+    /// Number of input tensors the plan expects.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// The statistics of creating this plan: exactly one order search,
+    /// no contractions. Absorb this into a run's aggregate stats at
+    /// plan-creation time so search counts are derived from the plan
+    /// objects actually built rather than asserted by the caller.
+    pub fn planning_stats(&self) -> ContractionStats {
+        ContractionStats {
+            order_searches: 1,
+            ..Default::default()
+        }
+    }
+
+    /// The recorded pair-contraction sequence.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// The order strategy the plan was searched with.
+    pub fn strategy(&self) -> OrderStrategy {
+        self.strategy
+    }
+
+    /// Replays the plan against `inputs` (one tensor per original node,
+    /// in node order, with the planned shapes).
+    ///
+    /// The returned [`ContractionStats`] carry `plan_reuses = 1` and
+    /// `order_searches = 0`: no search happens here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the planned node count.
+    /// Shape agreement is only debug-asserted — replay is the hot path
+    /// and [`TensorNetwork::set_tensor`] already enforces shapes.
+    pub fn execute(&self, inputs: &[Tensor]) -> (Tensor, ContractionStats) {
+        self.execute_impl(inputs.iter().map(Cow::Borrowed).collect())
+    }
+
+    /// Replays the plan against the tensors currently held by `net`
+    /// (which must have the same node count and shapes it was planned
+    /// from — the swap-payloads-and-rerun entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net`'s node count differs from the planned count.
+    pub fn execute_network(&self, net: &TensorNetwork) -> (Tensor, ContractionStats) {
+        self.execute_impl(net.node_tensors().map(Cow::Borrowed).collect())
+    }
+
+    fn execute_impl(&self, inputs: Vec<Cow<'_, Tensor>>) -> (Tensor, ContractionStats) {
+        assert_eq!(
+            inputs.len(),
+            self.n_inputs,
+            "plan expects {} input tensors, got {}",
+            self.n_inputs,
+            inputs.len()
+        );
+        debug_assert!(
+            inputs
+                .iter()
+                .zip(&self.input_shapes)
+                .all(|(t, s)| t.shape() == s.as_slice()),
+            "input tensor shapes differ from the planned skeleton"
+        );
+        let mut stats = self.replay_stats;
+        stats.plan_reuses = 1;
+        if self.n_inputs == 0 {
+            return (Tensor::scalar(Complex64::ONE), stats);
+        }
+        let mut slots: Vec<Option<Cow<'_, Tensor>>> = inputs.into_iter().map(Some).collect();
+        for step in &self.steps {
+            let ta = slots[step.lhs].take().expect("plan slot consumed once");
+            let tb = slots[step.rhs].take().expect("plan slot consumed once");
+            let t = ta.contract(&tb, &step.axes_lhs, &step.axes_rhs);
+            slots.push(Some(Cow::Owned(t)));
+        }
+        let tensor = slots
+            .into_iter()
+            .rev()
+            .find_map(|s| s)
+            .expect("one tensor remains")
+            .into_owned();
+        let tensor = match &self.output_perm {
+            Some(perm) => tensor.permute(perm),
+            None => tensor,
+        };
+        (tensor, stats)
+    }
+}
+
+/// Result size (elements) of contracting skeleton slots `a` and `b` —
+/// the greedy search's cost function.
+fn pair_cost(slots: &[Option<SkeletonNode>], a: usize, b: usize) -> usize {
+    let (sa, la) = slots[a].as_ref().expect("live");
+    let (sb, lb) = slots[b].as_ref().expect("live");
+    let mut size = 1usize;
+    for (i, l) in la.iter().enumerate() {
+        if !lb.contains(l) {
+            size = size.saturating_mul(sa[i]);
+        }
+    }
+    for (i, l) in lb.iter().enumerate() {
+        if !la.contains(l) {
+            size = size.saturating_mul(sb[i]);
+        }
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_linalg::{cr, Matrix};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn rand_tensor(rng: &mut StdRng, shape: Vec<usize>) -> Tensor {
+        let len = shape.iter().product();
+        let data = (0..len)
+            .map(|_| qns_linalg::c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+            .collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    fn chain_network(rng: &mut StdRng) -> (TensorNetwork, Matrix) {
+        let a = rand_tensor(rng, vec![2, 3]);
+        let b = rand_tensor(rng, vec![3, 4]);
+        let c = rand_tensor(rng, vec![4, 2]);
+        let expect = a.to_matrix().matmul(&b.to_matrix()).matmul(&c.to_matrix());
+        let mut net = TensorNetwork::new();
+        let (l0, l1, l2, l3) = (
+            net.fresh_leg(),
+            net.fresh_leg(),
+            net.fresh_leg(),
+            net.fresh_leg(),
+        );
+        net.add(a, vec![l0, l1]);
+        net.add(b, vec![l1, l2]);
+        net.add(c, vec![l2, l3]);
+        (net, expect)
+    }
+
+    #[test]
+    fn plan_execute_matches_contract_all() {
+        for strategy in [OrderStrategy::Greedy, OrderStrategy::Sequential] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let (net, expect) = chain_network(&mut rng);
+            let plan = net.plan(strategy);
+            let (planned, stats) = plan.execute_network(&net);
+            assert!(planned.to_matrix().approx_eq(&expect, 1e-12));
+            assert_eq!(stats.plan_reuses, 1);
+            assert_eq!(stats.order_searches, 0);
+
+            let (fresh, fresh_stats) = net.contract_all(strategy);
+            assert_eq!(planned, fresh, "replay must be bit-identical");
+            assert_eq!(stats.contractions, fresh_stats.contractions);
+            assert_eq!(stats.max_intermediate, fresh_stats.max_intermediate);
+            assert_eq!(stats.flops_proxy, fresh_stats.flops_proxy);
+        }
+    }
+
+    #[test]
+    fn execute_many_with_swapped_payloads() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (mut net, _) = chain_network(&mut rng);
+        let plan = net.plan(OrderStrategy::Greedy);
+        for round in 0..5 {
+            let a = rand_tensor(&mut rng, vec![2, 3]);
+            let b = rand_tensor(&mut rng, vec![3, 4]);
+            let c = rand_tensor(&mut rng, vec![4, 2]);
+            let expect = a.to_matrix().matmul(&b.to_matrix()).matmul(&c.to_matrix());
+            for (i, t) in [a, b, c].into_iter().enumerate() {
+                net.set_tensor(net.node_id(i), t);
+            }
+            let (out, stats) = plan.execute_network(&net);
+            assert!(out.to_matrix().approx_eq(&expect, 1e-12), "round {round}");
+            assert_eq!(stats.order_searches, 0);
+        }
+    }
+
+    #[test]
+    fn empty_plan_yields_scalar_one() {
+        let net = TensorNetwork::new();
+        let plan = net.plan(OrderStrategy::Greedy);
+        let (t, stats) = plan.execute(&[]);
+        assert_eq!(t.scalar_value(), Complex64::ONE);
+        assert_eq!(stats.contractions, 0);
+        assert_eq!(stats.plan_reuses, 1);
+    }
+
+    #[test]
+    fn single_node_plan_permutes_to_leg_order() {
+        let mut net = TensorNetwork::new();
+        let l_hi = net.fresh_leg();
+        let l_lo = net.fresh_leg();
+        // Axes given as [l_lo-larger-id? no: legs are (fresh0, fresh1)];
+        // register the tensor with descending leg ids so the output
+        // must be permuted.
+        let t = Tensor::from_vec(vec![cr(1.0), cr(2.0), cr(3.0), cr(4.0)], vec![2, 2]);
+        net.add(t.clone(), vec![l_lo, l_hi]);
+        let plan = net.plan(OrderStrategy::Greedy);
+        let (out, _) = plan.execute_network(&net);
+        // Ascending leg order is [l_hi, l_lo] since l_hi was allocated
+        // first: output axes are swapped relative to the input.
+        assert_eq!(out, t.permute(&[1, 0]));
+    }
+
+    #[test]
+    fn disconnected_plan_outer_products() {
+        let mut net = TensorNetwork::new();
+        let l1 = net.fresh_leg();
+        let l2 = net.fresh_leg();
+        net.add(Tensor::from_vec(vec![cr(2.0)], vec![1]), vec![l1]);
+        net.add(Tensor::from_vec(vec![cr(3.0)], vec![1]), vec![l2]);
+        let plan = net.plan(OrderStrategy::Greedy);
+        let (t, _) = plan.execute_network(&net);
+        assert_eq!(t.as_slice()[0], cr(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "plan expects 3 input tensors")]
+    fn arity_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (net, _) = chain_network(&mut rng);
+        let plan = net.plan(OrderStrategy::Greedy);
+        let _ = plan.execute(&[Tensor::zeros(vec![2, 3])]);
+    }
+}

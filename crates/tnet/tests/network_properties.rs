@@ -88,6 +88,60 @@ proptest! {
         prop_assert!(t.scalar_value().approx_eq(expect, 1e-9));
     }
 
+    /// A plan computed from a random chain skeleton replays to the
+    /// same result as a fresh contraction — including when the
+    /// payloads are swapped after planning.
+    #[test]
+    fn plan_replay_matches_fresh_contraction_on_chains(
+        d0 in 1usize..4,
+        d1 in 1usize..4,
+        d2 in 1usize..4,
+        d3 in 1usize..4,
+        salt in 0usize..50,
+    ) {
+        let mk = |shape: Vec<usize>, s: usize| {
+            let len: usize = shape.iter().product();
+            let data = (0..len)
+                .map(|i| c64(((i * 7 + s * 13) % 11) as f64 / 11.0 - 0.5,
+                             ((i * 5 + s * 3) % 7) as f64 / 7.0 - 0.5))
+                .collect();
+            Tensor::from_vec(data, shape)
+        };
+        for strategy in [OrderStrategy::Greedy, OrderStrategy::Sequential] {
+            let mut net = TensorNetwork::new();
+            let l0 = net.fresh_leg();
+            let l1 = net.fresh_leg();
+            let l2 = net.fresh_leg();
+            let l3 = net.fresh_leg();
+            net.add(mk(vec![d0, d1], salt), vec![l0, l1]);
+            net.add(mk(vec![d1, d2], salt + 1), vec![l1, l2]);
+            let last = net.add(mk(vec![d2, d3], salt + 2), vec![l2, l3]);
+
+            let plan = net.plan(strategy);
+            let (planned, stats) = plan.execute_network(&net);
+            prop_assert_eq!(stats.order_searches, 0);
+            prop_assert_eq!(stats.plan_reuses, 1);
+
+            // Swap one payload and replay: must equal a fresh
+            // contraction of the updated network.
+            net.set_tensor(last, mk(vec![d2, d3], salt + 9));
+            let (replayed, _) = plan.execute_network(&net);
+            let (fresh, _) = net.clone().contract_all(strategy);
+            prop_assert_eq!(replayed.shape(), fresh.shape());
+            for (a, b) in replayed.as_slice().iter().zip(fresh.as_slice()) {
+                prop_assert!(a.approx_eq(*b, 1e-12), "{:?}: {} vs {}", strategy, a, b);
+            }
+
+            // And the original (pre-swap) result matches its own fresh
+            // contraction too.
+            net.set_tensor(last, mk(vec![d2, d3], salt + 2));
+            let (orig, _) = net.contract_all(strategy);
+            for (a, b) in planned.as_slice().iter().zip(orig.as_slice()) {
+                prop_assert!(a.approx_eq(*b, 1e-12));
+            }
+        }
+    }
+
     /// Strategies agree on star-shaped networks (hub with spokes).
     #[test]
     fn strategies_agree_on_stars(spokes in 2usize..5, salt in 0usize..20) {

@@ -111,6 +111,45 @@ proptest! {
     }
 
     #[test]
+    fn plan_execution_matches_fresh_contraction(
+        c in random_circuit(3, 10),
+        ch in random_channel(),
+        seed in 0u64..1000,
+        v_bits in 0usize..8,
+    ) {
+        // Plan-once/execute-many must agree with the search-as-you-go
+        // contraction to 1e-12 on random networks — both the single
+        // amplitude network and the double noisy network, under both
+        // order strategies.
+        use std::collections::HashMap;
+        let noisy = NoisyCircuit::inject_random(c, &ch, 2, seed);
+        let psi = ProductState::all_zeros(3);
+        let v = ProductState::basis(3, v_bits);
+        for strategy in [OrderStrategy::Greedy, OrderStrategy::Sequential] {
+            let amp_net = qns::tnet::builder::amplitude_network(noisy.circuit(), &psi, &v);
+            let plan = amp_net.plan(strategy);
+            let (planned, stats) = plan.execute_network(&amp_net);
+            let (fresh, fresh_stats) = amp_net.contract_all(strategy);
+            prop_assert!(
+                planned.scalar_value().approx_eq(fresh.scalar_value(), 1e-12),
+                "{strategy:?} amplitude: {} vs {}", planned.scalar_value(), fresh.scalar_value()
+            );
+            prop_assert_eq!(stats.contractions, fresh_stats.contractions);
+            prop_assert_eq!(stats.order_searches, 0);
+            prop_assert_eq!(fresh_stats.order_searches, 1);
+
+            let dbl_net = qns::tnet::builder::double_network(&noisy, &psi, &v, &HashMap::new());
+            let plan = dbl_net.plan(strategy);
+            let planned = plan.execute_network(&dbl_net).0.scalar_value();
+            let fresh = dbl_net.contract_all(strategy).0.scalar_value();
+            prop_assert!(
+                planned.approx_eq(fresh, 1e-12),
+                "{strategy:?} double: {planned} vs {fresh}"
+            );
+        }
+    }
+
+    #[test]
     fn tn_matches_density_on_random_configs(
         c in random_circuit(3, 10),
         ch in random_channel(),
