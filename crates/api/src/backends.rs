@@ -29,12 +29,59 @@ pub trait Backend {
     /// mismatches cannot occur: the job is validated at construction.
     fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError>;
 
+    /// Cheap feasibility pre-check: `Ok(())` when
+    /// [`Backend::expectation`] would not decline this job for a
+    /// capability or configuration reason. Routers call this before
+    /// committing work to an engine, so an infeasible engine is
+    /// skipped instead of queued. The default accepts everything;
+    /// backends with hard limits (the dense engine's qubit cap, the
+    /// approximation's term budget) override it with the same check
+    /// their `expectation` performs.
+    ///
+    /// # Errors
+    ///
+    /// The error `expectation` would return for the same job.
+    fn supports(&self, job: &ExpectationJob<'_>) -> Result<(), QnsError> {
+        let _ = job;
+        Ok(())
+    }
+
+    /// Deterministic relative cost estimate for running `job` on this
+    /// backend, in abstract "work units" comparable *across* backends
+    /// only for routing purposes (larger = slower). `None` means the
+    /// backend offers no model (routers treat it as a last resort).
+    /// Implementations must be cheap — O(1) in the circuit size apart
+    /// from reading counts — and must return `None` whenever
+    /// [`Backend::supports`] would fail.
+    fn cost_hint(&self, job: &ExpectationJob<'_>) -> Option<u128> {
+        let _ = job;
+        None
+    }
+
     /// The absolute tolerance within which this backend, *configured
     /// to be exact* (full level, generous bond, …), agrees with the
     /// dense density-matrix reference. Sampling backends return a
     /// loose default; prefer a multiple of [`Estimate::std_error`].
     fn tolerance(&self) -> f64 {
         1e-9
+    }
+}
+
+/// One "work unit" of a job for the [`Backend::cost_hint`] models: its
+/// gate count plus noise count (plus one, so degenerate jobs still
+/// cost something). Every engine's per-state/per-pattern/per-sample
+/// work scales with this.
+fn job_units(job: &ExpectationJob<'_>) -> u128 {
+    (job.noisy().circuit().gate_count() + job.noisy().noise_count() + 1) as u128
+}
+
+/// `2^k`, saturating instead of overflowing for astronomically large
+/// jobs (whose costs only need to compare as "huge").
+fn pow2_saturating(k: usize) -> u128 {
+    if k >= 127 {
+        u128::MAX
+    } else {
+        1u128 << k
     }
 }
 
@@ -66,10 +113,19 @@ impl ApproxBackend {
     /// Returns a copy evaluating patterns on `threads` worker threads
     /// (see [`ApproxOptions::threads`]): the workers share one cached
     /// contraction plan per split half and pull substitution patterns
-    /// from a streaming enumerator in chunks.
+    /// from a streaming enumerator in chunks. `0` is clamped to `1`
+    /// (sequential), so a computed thread count can never produce a
+    /// degenerate configuration.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.opts = self.opts.with_threads(threads);
         self
+    }
+
+    /// The substitution-pattern count a run on `noisy` would evaluate
+    /// (`Σ_{u≤l} C(N,u)·3^u`, Theorem 1) — the quantity both the term
+    /// budget guard and the router's cost model are built on.
+    fn planned_patterns(&self, noisy: &NoisyCircuit) -> u128 {
+        qns_core::bounds::contraction_count(noisy.noise_count(), self.opts.level) / 2
     }
 
     /// A backend whose level equals `noisy`'s noise count — exact for
@@ -102,6 +158,28 @@ impl Backend for ApproxBackend {
 
     fn tolerance(&self) -> f64 {
         1e-8
+    }
+
+    fn supports(&self, job: &ExpectationJob<'_>) -> Result<(), QnsError> {
+        let planned = self.planned_patterns(job.noisy());
+        if planned > self.opts.max_terms {
+            return Err(QnsError::TermBudgetExceeded {
+                level: self.opts.level,
+                planned,
+                max_terms: self.opts.max_terms,
+            });
+        }
+        Ok(())
+    }
+
+    fn cost_hint(&self, job: &ExpectationJob<'_>) -> Option<u128> {
+        self.supports(job).ok()?;
+        // Two single-size contractions per pattern, each linear in the
+        // network size.
+        Some(
+            self.planned_patterns(job.noisy())
+                .saturating_mul(job_units(job)),
+        )
     }
 }
 
@@ -146,6 +224,16 @@ impl Backend for DensityBackend {
     }
 
     fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError> {
+        self.supports(job)?;
+        let value = density::expectation(
+            job.noisy(),
+            &job.initial().statevector(),
+            &job.observable().statevector(),
+        );
+        Ok(Estimate::exact(value, self.name()))
+    }
+
+    fn supports(&self, job: &ExpectationJob<'_>) -> Result<(), QnsError> {
         let n = job.n_qubits();
         if n > self.max_qubits {
             return Err(QnsError::Unsupported {
@@ -156,12 +244,13 @@ impl Backend for DensityBackend {
                 ),
             });
         }
-        let value = density::expectation(
-            job.noisy(),
-            &job.initial().statevector(),
-            &job.observable().statevector(),
-        );
-        Ok(Estimate::exact(value, self.name()))
+        Ok(())
+    }
+
+    fn cost_hint(&self, job: &ExpectationJob<'_>) -> Option<u128> {
+        self.supports(job).ok()?;
+        // A 4^n-element density matrix touched once per gate/noise.
+        Some(pow2_saturating(2 * job.n_qubits()).saturating_mul(job_units(job)))
     }
 }
 
@@ -216,11 +305,7 @@ impl Backend for TrajectoryBackend {
     }
 
     fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError> {
-        if self.samples == 0 {
-            return Err(QnsError::InvalidJob {
-                reason: "trajectory backend needs at least one sample".into(),
-            });
-        }
+        self.supports(job)?;
         let est = trajectory::estimate(
             job.noisy(),
             &job.initial().statevector(),
@@ -234,6 +319,26 @@ impl Backend for TrajectoryBackend {
 
     fn tolerance(&self) -> f64 {
         0.05
+    }
+
+    fn supports(&self, job: &ExpectationJob<'_>) -> Result<(), QnsError> {
+        let _ = job;
+        if self.samples == 0 {
+            return Err(QnsError::InvalidJob {
+                reason: "trajectory backend needs at least one sample".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn cost_hint(&self, job: &ExpectationJob<'_>) -> Option<u128> {
+        self.supports(job).ok()?;
+        // One 2^n statevector evolution per sample.
+        Some(
+            (self.samples as u128)
+                .saturating_mul(pow2_saturating(job.n_qubits()))
+                .saturating_mul(job_units(job)),
+        )
     }
 }
 
@@ -261,6 +366,17 @@ impl Backend for TddBackend {
             &job.observable().factors(),
         );
         Ok(Estimate::exact(value, self.name()))
+    }
+
+    fn cost_hint(&self, job: &ExpectationJob<'_>) -> Option<u128> {
+        // Worst-case 4^n diagram nodes, discounted for the node
+        // sharing structured circuits enjoy.
+        Some(
+            pow2_saturating(2 * job.n_qubits())
+                .saturating_mul(job_units(job))
+                .saturating_div(8)
+                .max(1),
+        )
     }
 }
 
@@ -298,6 +414,18 @@ impl Backend for TnetBackend {
         );
         Ok(Estimate::exact(value, self.name()))
     }
+
+    fn cost_hint(&self, job: &ExpectationJob<'_>) -> Option<u128> {
+        // Contracting the 2n-rail double network: intermediate tensors
+        // grow with the cut through the circuit, and every noise event
+        // bridges the halves, thickening the cut.
+        let bridges = (job.noisy().noise_count() + 1) as u128;
+        Some(
+            pow2_saturating(job.n_qubits())
+                .saturating_mul(job_units(job))
+                .saturating_mul(bridges),
+        )
+    }
 }
 
 /// Matrix-product-operator density evolution with a bond cap.
@@ -331,11 +459,7 @@ impl Backend for MpoBackend {
     }
 
     fn expectation(&self, job: &ExpectationJob<'_>) -> Result<Estimate, QnsError> {
-        if self.max_bond == 0 {
-            return Err(QnsError::InvalidJob {
-                reason: "MPO backend needs max_bond ≥ 1".into(),
-            });
-        }
+        self.supports(job)?;
         let mut rho = MpoState::from_product(&job.initial().factors(), self.max_bond);
         rho.run(job.noisy());
         let value = rho.expectation_product(&job.observable().factors());
@@ -350,6 +474,27 @@ impl Backend for MpoBackend {
     fn tolerance(&self) -> f64 {
         1e-8
     }
+
+    fn supports(&self, job: &ExpectationJob<'_>) -> Result<(), QnsError> {
+        let _ = job;
+        if self.max_bond == 0 {
+            return Err(QnsError::InvalidJob {
+                reason: "MPO backend needs max_bond ≥ 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn cost_hint(&self, job: &ExpectationJob<'_>) -> Option<u128> {
+        self.supports(job).ok()?;
+        // A chain of n χ×χ tensors, SVD-swept once per gate/noise.
+        let chi3 = (self.max_bond as u128).saturating_pow(3);
+        Some(
+            (job.n_qubits() as u128)
+                .saturating_mul(job_units(job))
+                .saturating_mul(chi3),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -357,6 +502,7 @@ mod tests {
     use super::*;
     use crate::job::Simulation;
     use qns_circuit::Circuit;
+    use qns_noise::channels;
 
     /// A circuit that at χ = 1 must truncate and at χ = 64 must not:
     /// a GHZ ladder followed by an entangling ZZ round.
@@ -395,5 +541,98 @@ mod tests {
         let b = ApproxBackend::level(2).with_threads(4);
         assert_eq!(b.options().threads, 4);
         assert_eq!(b.options().level, 2);
+    }
+
+    #[test]
+    fn thread_counts_are_clamped_to_at_least_one() {
+        // Regression: a computed `0` (e.g. `available / jobs` rounding
+        // down) used to flow straight into the options.
+        assert_eq!(ApproxBackend::level(1).with_threads(0).options().threads, 1);
+        assert_eq!(
+            qns_core::ApproxOptions::default().with_threads(0).threads,
+            1
+        );
+    }
+
+    #[test]
+    fn supports_mirrors_expectation_feasibility() {
+        let noisy = NoisyCircuit::noiseless({
+            let mut c = Circuit::new(4);
+            c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+            c
+        });
+        let job = Simulation::new(&noisy).build().unwrap();
+
+        // Dense: within the cap both paths succeed, beyond it both
+        // decline with the same error.
+        assert!(DensityBackend::new().supports(&job).is_ok());
+        let tiny = DensityBackend::new().with_max_qubits(2);
+        assert!(matches!(
+            tiny.supports(&job),
+            Err(QnsError::Unsupported {
+                backend: "density",
+                ..
+            })
+        ));
+        assert!(tiny.expectation(&job).is_err());
+
+        // Approx: the term budget guard surfaces through supports too.
+        let strangled =
+            ApproxBackend::with_options(ApproxOptions::default().with_level(0).with_max_terms(0));
+        assert!(matches!(
+            strangled.supports(&job),
+            Err(QnsError::TermBudgetExceeded { .. })
+        ));
+
+        // Degenerate configurations decline before running.
+        assert!(TrajectoryBackend::samples(0).supports(&job).is_err());
+        assert!(MpoBackend::max_bond(0).supports(&job).is_err());
+        assert!(TrajectoryBackend::samples(10).supports(&job).is_ok());
+    }
+
+    #[test]
+    fn cost_hints_are_none_exactly_when_unsupported() {
+        let noisy = NoisyCircuit::noiseless({
+            let mut c = Circuit::new(5);
+            c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4);
+            c
+        });
+        let job = Simulation::new(&noisy).build().unwrap();
+
+        assert!(DensityBackend::new().cost_hint(&job).is_some());
+        assert_eq!(
+            DensityBackend::new().with_max_qubits(2).cost_hint(&job),
+            None
+        );
+        assert_eq!(TrajectoryBackend::samples(0).cost_hint(&job), None);
+        assert_eq!(MpoBackend::max_bond(0).cost_hint(&job), None);
+
+        // A low-level approximation must model as far cheaper than the
+        // dense engine on a noisy job — that asymmetry is what the
+        // router's Auto policy exploits.
+        let noisy = NoisyCircuit::inject_random(
+            qns_circuit::generators::ghz(5),
+            &channels::depolarizing(1e-3),
+            6,
+            3,
+        );
+        let job = Simulation::new(&noisy).build().unwrap();
+        let approx = ApproxBackend::level(1).cost_hint(&job).unwrap();
+        let dense = DensityBackend::new().cost_hint(&job).unwrap();
+        assert!(approx < dense, "approx {approx} vs dense {dense}");
+    }
+
+    #[test]
+    fn cost_hints_saturate_instead_of_overflowing() {
+        let mut c = Circuit::new(80);
+        for q in 0..79 {
+            c.cx(q, q + 1);
+        }
+        let noisy = NoisyCircuit::noiseless(c);
+        let job = Simulation::new(&noisy).build().unwrap();
+        // 4^80 work units saturate; the hint stays a valid ordering key.
+        let hint = DensityBackend::new().with_max_qubits(100).cost_hint(&job);
+        assert_eq!(hint, Some(u128::MAX));
+        assert!(TnetBackend::new().cost_hint(&job).unwrap() < u128::MAX);
     }
 }

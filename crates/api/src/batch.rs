@@ -24,14 +24,16 @@ pub fn run_batch(
 /// few large ones.
 ///
 /// Output stays index-aligned with `jobs` and per-job errors stay
-/// isolated, exactly as in [`run_batch`]. `threads ≤ 1` falls back to
-/// the sequential path.
+/// isolated, exactly as in [`run_batch`]. `threads` is clamped to
+/// `≥ 1`; `1` (and a single-job batch) falls back to the sequential
+/// path.
 pub fn run_batch_parallel(
     backend: &(dyn Backend + Sync),
     jobs: &[ExpectationJob<'_>],
     threads: usize,
 ) -> Vec<Result<Estimate, QnsError>> {
-    if threads <= 1 || jobs.len() <= 1 {
+    let threads = threads.max(1);
+    if threads == 1 || jobs.len() <= 1 {
         return run_batch(backend, jobs);
     }
     let workers = threads.min(jobs.len());

@@ -211,6 +211,18 @@ impl<'a> ExpectationJob<'a> {
     pub fn n_qubits(&self) -> usize {
         self.noisy.n_qubits()
     }
+
+    /// The job's canonical structural hash: two jobs built
+    /// independently from identical circuits, noise, states and
+    /// observables fingerprint equal (see [`crate::Fingerprint`]).
+    /// Serving layers use this as their cache / dedup key.
+    pub fn fingerprint(&self) -> crate::Fingerprint {
+        crate::fingerprint::fingerprint_job(
+            self.noisy,
+            self.initial.product(),
+            self.observable.product(),
+        )
+    }
 }
 
 /// One backend's answer to an [`ExpectationJob`].
@@ -272,6 +284,29 @@ impl Estimate {
     /// deterministic *and* free of truncation.
     pub fn is_exact(&self) -> bool {
         self.std_error.is_none() && self.truncation_error.is_none()
+    }
+
+    /// Bound-aware agreement check between two estimates: the values
+    /// must differ by at most `tol` **plus** each side's declared
+    /// uncertainty — five standard errors for sampling backends and
+    /// the accumulated truncation bound for bond-capped ones. This is
+    /// the one comparison the agreement suites share instead of
+    /// hand-rolling `max(k·σ, ε)` at every call site.
+    ///
+    /// ```
+    /// use qns_api::Estimate;
+    /// let exact = Estimate::exact(0.500, "density");
+    /// let noisy = Estimate::sampled(0.512, 0.01, "trajectory");
+    /// assert!(noisy.agrees_with(&exact, 1e-3)); // |Δ| ≤ 1e-3 + 5σ
+    /// assert!(!Estimate::exact(0.6, "tdd").agrees_with(&exact, 1e-3));
+    /// ```
+    pub fn agrees_with(&self, other: &Estimate, tol: f64) -> bool {
+        let slack = tol
+            + 5.0 * self.std_error.unwrap_or(0.0)
+            + 5.0 * other.std_error.unwrap_or(0.0)
+            + self.truncation_error.unwrap_or(0.0)
+            + other.truncation_error.unwrap_or(0.0);
+        (self.value - other.value).abs() <= slack
     }
 }
 

@@ -43,12 +43,14 @@
 
 mod backends;
 mod batch;
+pub mod fingerprint;
 mod job;
 
 pub use backends::{
     ApproxBackend, Backend, DensityBackend, MpoBackend, TddBackend, TnetBackend, TrajectoryBackend,
 };
 pub use batch::{compare_backends, run_batch, run_batch_parallel};
+pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use job::{Estimate, ExpectationJob, InitialState, Observable, Simulation};
 
 // Re-exported so downstream code can name every type in a facade

@@ -1,0 +1,225 @@
+//! Serving-layer benchmark: hammer a `qns_serve::Service` with a
+//! mixed registry workload full of duplicate submissions and report
+//! throughput, cache-hit rate and single-flight wins.
+//!
+//! Usage:
+//!   cargo run -p qns-bench --release --bin serve_bench -- \
+//!       [--smoke] [--workers W] [--level L] [--noises N] \
+//!       [--repeats R] [--observables O] [--out PATH]
+//!
+//! Each unique job (registry circuit × observable) is submitted
+//! `R` times, interleaved so duplicates arrive while their first
+//! submission is queued, in flight, or cached — exercising all three
+//! dedup paths. The run writes a machine-readable `BENCH_serve.json`
+//! (CI uploads it as an artifact).
+//!
+//! `--smoke` is the CI mode: the small registry smoke set, and hard
+//! *assertions* on the serving invariants — exactly one backend
+//! execution per unique job, every duplicate answered by the cache or
+//! a single-flight join, and no job routed to an engine that declared
+//! it unsupported — so a serving regression fails the pipeline.
+
+use qns_api::{ApproxBackend, InitialState, Observable};
+use qns_bench::registry::{default_set, smoke_set, BenchCircuit};
+use qns_bench::timing::time_it;
+use qns_bench::{arg_flag, arg_usize, print_row};
+use qns_noise::{channels, NoisyCircuit};
+use qns_serve::{default_engines, JobSpec, Route, Service, ServiceBuilder, ServiceStats};
+use std::io::Write;
+use std::sync::Arc;
+
+/// One unique job per (circuit, observable-bits) pair.
+fn build_specs(set: &[BenchCircuit], noises: usize, observables: usize) -> Vec<JobSpec> {
+    let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
+    let mut specs = Vec::new();
+    for (i, bench) in set.iter().enumerate() {
+        let noisy = NoisyCircuit::inject_random(
+            bench.circuit.clone(),
+            &channel,
+            noises,
+            0x5E17E + i as u64,
+        );
+        let n = noisy.n_qubits();
+        let noisy = Arc::new(noisy);
+        for bits in 0..observables {
+            specs.push(
+                JobSpec::new(
+                    Arc::clone(&noisy),
+                    InitialState::zeros(n),
+                    Observable::basis(n, bits),
+                )
+                .expect("registry jobs are well-formed"),
+            );
+        }
+    }
+    specs
+}
+
+/// Submits every spec `repeats` times and waits for all handles,
+/// returning the elapsed seconds. The first `repeats − 1` rounds are
+/// interleaved *without* waiting, so duplicates overlap their
+/// originals (single-flight joins, or cache hits when a worker beat
+/// the submitter); the final round runs after everything completed,
+/// so it consists of guaranteed cache hits.
+fn run_workload(service: &Service, specs: &[JobSpec], repeats: usize) -> f64 {
+    let ((), elapsed) = time_it(|| {
+        let handles: Vec<_> = (0..repeats.saturating_sub(1))
+            .flat_map(|_| specs.iter())
+            .map(|spec| service.submit(spec).expect("service accepts submissions"))
+            .collect();
+        for h in &handles {
+            h.wait().expect("workload jobs are feasible");
+        }
+        for spec in specs {
+            service
+                .submit(spec)
+                .expect("service accepts submissions")
+                .wait()
+                .expect("workload jobs are feasible");
+        }
+    });
+    elapsed
+}
+
+fn write_report(
+    path: &str,
+    mode: &str,
+    workers: usize,
+    unique: usize,
+    submitted: u64,
+    elapsed: f64,
+    stats: &ServiceStats,
+) {
+    let mut backends = String::new();
+    for (i, (name, b)) in stats.per_backend.iter().enumerate() {
+        if i > 0 {
+            backends.push(',');
+        }
+        backends.push_str(&format!(
+            "\"{name}\":{{\"jobs\":{},\"seconds\":{:.6}}}",
+            b.jobs, b.seconds
+        ));
+    }
+    let json = format!(
+        "{{\"mode\":\"{mode}\",\"workers\":{workers},\"unique_jobs\":{unique},\
+         \"submitted\":{submitted},\"executed\":{},\"cache_hits\":{},\
+         \"cache_misses\":{},\"cache_evictions\":{},\"dedup_joins\":{},\
+         \"hit_rate\":{:.4},\"queue_high_water\":{},\"elapsed_seconds\":{:.6},\
+         \"throughput_jobs_per_sec\":{:.2},\"backends\":{{{backends}}}}}\n",
+        stats.executed,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.dedup_joins,
+        stats.cache_hit_rate(),
+        stats.queue_high_water,
+        elapsed,
+        submitted as f64 / elapsed.max(1e-9),
+    );
+    let mut f = std::fs::File::create(path).expect("create bench report");
+    f.write_all(json.as_bytes()).expect("write bench report");
+    println!("\nreport written to {path}");
+}
+
+fn main() {
+    let smoke = arg_flag("--smoke");
+    let workers = arg_usize("--workers", 4);
+    let level = arg_usize("--level", 1);
+    let noises = arg_usize("--noises", if smoke { 6 } else { 8 });
+    let repeats = arg_usize("--repeats", 4);
+    let observables = arg_usize("--observables", 2);
+    let out = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let set = if smoke { smoke_set() } else { default_set() };
+    let specs = build_specs(&set, noises, observables);
+    let unique = specs.len();
+    let total = unique * repeats;
+
+    println!(
+        "serve_bench — {} unique jobs × {repeats} submissions = {total} total, \
+         {workers} workers, level-{level} approximation, Route::Auto\n",
+        unique
+    );
+
+    // The default engine set, with the approximation level configurable
+    // (the one knob the mixed workload is sensitive to).
+    let mut engines = default_engines();
+    engines[0] = Arc::new(ApproxBackend::level(level));
+    let service = ServiceBuilder::new()
+        .workers(workers)
+        .cache_capacity(2 * unique)
+        .route(Route::Auto)
+        .engines(engines)
+        .build();
+
+    let elapsed = run_workload(&service, &specs, repeats);
+    let stats = service.stats();
+
+    let widths = [22usize, 12];
+    let rows: Vec<(&str, String)> = vec![
+        ("submitted", stats.submitted.to_string()),
+        ("executed", stats.executed.to_string()),
+        ("cache hits", stats.cache_hits.to_string()),
+        ("dedup joins", stats.dedup_joins.to_string()),
+        ("cache evictions", stats.cache_evictions.to_string()),
+        ("hit rate", format!("{:.3}", stats.cache_hit_rate())),
+        ("queue high-water", stats.queue_high_water.to_string()),
+        ("elapsed (s)", format!("{elapsed:.3}")),
+        (
+            "throughput (jobs/s)",
+            format!("{:.1}", total as f64 / elapsed.max(1e-9)),
+        ),
+    ];
+    for (label, value) in rows {
+        print_row(&[label.to_string(), value], &widths);
+    }
+    println!();
+    for (name, b) in &stats.per_backend {
+        print_row(
+            &[
+                format!("backend {name}"),
+                format!("{} jobs", b.jobs),
+                format!("{:.3}s", b.seconds),
+            ],
+            &[22, 12, 10],
+        );
+    }
+
+    if smoke {
+        // The serving-invariant tripwires (CI runs this mode).
+        assert_eq!(
+            stats.executed, unique as u64,
+            "exactly one backend execution per unique job"
+        );
+        assert_eq!(
+            stats.saved_executions(),
+            (total - unique) as u64,
+            "every duplicate answered by cache or single-flight join"
+        );
+        assert!(
+            stats.cache_hits > 0,
+            "a repeated workload must produce cache hits"
+        );
+        let routed: u64 = stats.per_backend.values().map(|b| b.jobs).sum();
+        assert_eq!(
+            routed, stats.executed,
+            "every execution is attributed to exactly one engine"
+        );
+        println!("\nserving invariants hold: single-flight, cache, routing attribution");
+    }
+
+    write_report(
+        &out,
+        if smoke { "smoke" } else { "default" },
+        workers,
+        unique,
+        stats.submitted,
+        elapsed,
+        &stats,
+    );
+}

@@ -1,13 +1,11 @@
 //! Timing helpers for the harness binaries.
+//!
+//! The measurement primitive (`time_it`) lives in `qns-serve`, where
+//! the service's latency accounting also uses it; this module
+//! re-exports it and adds the paper-table *presentation* helpers,
+//! which are benchmark-only concerns.
 
-use std::time::Instant;
-
-/// Runs `f`, returning its result and the wall-clock seconds it took.
-pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64())
-}
+pub use qns_serve::timing::time_it;
 
 /// Formats a seconds value like the paper's tables (`0.095`, `15.74`),
 /// or the given marker for `None` (timeout / memory-out).

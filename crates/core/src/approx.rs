@@ -94,9 +94,12 @@ impl ApproxOptions {
         self
     }
 
-    /// Returns a copy with the worker-thread count set.
+    /// Returns a copy with the worker-thread count set. `0` is clamped
+    /// to `1` (sequential evaluation) so a computed count — e.g.
+    /// `available_cores / jobs` rounding down — can never produce a
+    /// degenerate configuration.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.threads = threads.max(1);
         self
     }
 }

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! `qns-serve` — the serving layer over the unified [`qns_api`]
+//! facade.
+//!
+//! The paper's pitch (Theorem 1) is that level-`l` truncation makes
+//! noisy expectation values cheap enough to answer *many* queries.
+//! This crate is the layer that actually serves them: a [`Service`]
+//! accepts [`JobSpec`]s through a bounded queue, routes each to the
+//! cheapest feasible engine, and hands back [`JobHandle`] futures —
+//! while making sure identical work is never done twice:
+//!
+//! * **Fingerprinting** — jobs are keyed by their canonical
+//!   [`qns_api::Fingerprint`], so structurally identical jobs compare
+//!   equal however they were built.
+//! * **Cost-based routing** — [`Route::Auto`] scores every registered
+//!   engine with [`qns_api::Backend::cost_hint`] and skips engines
+//!   whose [`qns_api::Backend::supports`] declines (the dense engine
+//!   is never handed a job it would reject). [`Route::Fixed`] pins an
+//!   engine by name.
+//! * **Result caching** — completed estimates live in an
+//!   [`cache::LruCache`] with hit/miss/eviction counters.
+//! * **Single-flight dedup** — N concurrent submissions of one
+//!   fingerprint trigger exactly one backend execution; the other
+//!   N−1 handles join the in-flight computation.
+//!
+//! [`ServiceStats`] exposes the counters (per-backend job counts and
+//! latencies, cache hit rate, queue high-water mark) that the
+//! `serve_bench` harness turns into `BENCH_serve.json`.
+//!
+//! # Example
+//!
+//! ```
+//! use qns_serve::{JobSpec, Route, ServiceBuilder};
+//! use qns_circuit::generators::ghz;
+//! use qns_noise::{channels, NoisyCircuit};
+//!
+//! let service = ServiceBuilder::new().workers(2).cache_capacity(64).build();
+//!
+//! let noisy = NoisyCircuit::inject_random(ghz(4), &channels::depolarizing(1e-3), 2, 7);
+//! let spec = JobSpec::zeros(noisy);
+//!
+//! // Submit the same job twice: one execution, two satisfied handles.
+//! let a = service.submit(&spec)?;
+//! let b = service.submit_routed(&spec, Route::Auto)?;
+//! assert_eq!(a.wait()?.value.to_bits(), b.wait()?.value.to_bits());
+//! let stats = service.stats();
+//! assert_eq!(stats.executed, 1);
+//! assert_eq!(stats.saved_executions(), 1);
+//! # Ok::<(), qns_serve::QnsError>(())
+//! ```
+
+pub mod cache;
+pub mod router;
+mod service;
+pub mod timing;
+
+pub use cache::{CacheCounters, LruCache};
+pub use router::{route_job, Route, SharedBackend};
+pub use service::{
+    default_engines, BackendStats, JobHandle, JobSpec, Service, ServiceBuilder, ServiceStats,
+};
+
+// Re-exported so service code can be written against one crate.
+pub use qns_api::{Estimate, Fingerprint, QnsError};

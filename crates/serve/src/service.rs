@@ -1,0 +1,666 @@
+//! The concurrent expectation-value service.
+//!
+//! A [`Service`] owns a pool of worker threads, a bounded submission
+//! queue, an LRU result cache and a single-flight table. Submissions
+//! go through [`Service::submit`] and come back as [`JobHandle`]s —
+//! lightweight futures resolved by whichever worker runs (or whichever
+//! cache entry already answers) the job.
+//!
+//! Concurrency protocol, in submission order under one state lock:
+//!
+//! 1. **Cache probe** — a completed identical (fingerprint + route)
+//!    job answers immediately from the LRU cache.
+//! 2. **Single-flight join** — an identical job already queued or
+//!    running hands back a handle to the *same* flight: N concurrent
+//!    submissions of one job cost exactly one backend execution.
+//! 3. **Enqueue** — otherwise the job registers as the flight owner
+//!    and joins the bounded queue (submission blocks while the queue
+//!    is at capacity — backpressure, not unbounded memory).
+
+use crate::cache::LruCache;
+use crate::router::{route_job, Route, SharedBackend};
+use crate::timing::time_it;
+use qns_api::{
+    ApproxBackend, DensityBackend, Estimate, ExpectationJob, Fingerprint, InitialState, MpoBackend,
+    Observable, QnsError, TddBackend, TnetBackend, TrajectoryBackend,
+};
+use qns_noise::NoisyCircuit;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// An owned, validated, fingerprinted expectation job — the queueable
+/// counterpart of the borrowing [`ExpectationJob`]. The circuit lives
+/// behind an [`Arc`], so cloning a spec (the queue does, per
+/// submission) is cheap regardless of circuit size.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    noisy: Arc<NoisyCircuit>,
+    initial: InitialState,
+    observable: Observable,
+    fingerprint: Fingerprint,
+}
+
+impl JobSpec {
+    /// Builds and validates a spec; the fingerprint is computed once
+    /// here and reused for every submission.
+    ///
+    /// # Errors
+    ///
+    /// [`QnsError::SizeMismatch`] exactly as [`ExpectationJob::new`].
+    pub fn new(
+        noisy: impl Into<Arc<NoisyCircuit>>,
+        initial: impl Into<InitialState>,
+        observable: impl Into<Observable>,
+    ) -> Result<Self, QnsError> {
+        let noisy = noisy.into();
+        let initial = initial.into();
+        let observable = observable.into();
+        let fingerprint =
+            ExpectationJob::new(&noisy, initial.clone(), observable.clone())?.fingerprint();
+        Ok(JobSpec {
+            noisy,
+            initial,
+            observable,
+            fingerprint,
+        })
+    }
+
+    /// The default job on `noisy`: `|0…0⟩` in, `|0…0⟩⟨0…0|` measured.
+    pub fn zeros(noisy: impl Into<Arc<NoisyCircuit>>) -> Self {
+        let noisy = noisy.into();
+        let n = noisy.n_qubits();
+        JobSpec::new(noisy, InitialState::zeros(n), Observable::zeros(n))
+            .expect("matching qubit counts by construction")
+    }
+
+    /// The borrowing [`ExpectationJob`] view backends consume.
+    pub fn job(&self) -> ExpectationJob<'_> {
+        ExpectationJob::new(&self.noisy, self.initial.clone(), self.observable.clone())
+            .expect("spec was validated at construction")
+    }
+
+    /// The spec's canonical fingerprint (see
+    /// [`ExpectationJob::fingerprint`]).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// The noisy circuit the spec runs.
+    pub fn noisy(&self) -> &NoisyCircuit {
+        &self.noisy
+    }
+}
+
+/// One in-flight (or resolved) execution shared by every handle that
+/// joined it.
+#[derive(Debug)]
+struct Flight {
+    slot: Mutex<Option<Result<Estimate, QnsError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn pending() -> Arc<Flight> {
+        Arc::new(Flight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn resolved(result: Result<Estimate, QnsError>) -> Arc<Flight> {
+        Arc::new(Flight {
+            slot: Mutex::new(Some(result)),
+            done: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: Result<Estimate, QnsError>) {
+        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        debug_assert!(slot.is_none(), "a flight resolves exactly once");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Estimate, QnsError> {
+        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.done.wait(slot).expect("flight slot poisoned");
+        }
+    }
+
+    fn try_get(&self) -> Option<Result<Estimate, QnsError>> {
+        self.slot.lock().expect("flight slot poisoned").clone()
+    }
+}
+
+/// A handle to one submission's eventual [`Estimate`]. Handles are
+/// cheap to clone; every clone (and every deduplicated co-submission)
+/// observes the same result.
+#[derive(Clone, Debug)]
+pub struct JobHandle {
+    flight: Arc<Flight>,
+}
+
+impl JobHandle {
+    /// Blocks until the job completes and returns its result. Multiple
+    /// waits return the same (cloned) result.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the routed backend (or the router) reported.
+    pub fn wait(&self) -> Result<Estimate, QnsError> {
+        self.flight.wait()
+    }
+
+    /// Non-blocking probe: `None` while the job is still queued or
+    /// running.
+    pub fn try_get(&self) -> Option<Result<Estimate, QnsError>> {
+        self.flight.try_get()
+    }
+}
+
+/// Per-backend accounting inside [`ServiceStats`].
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BackendStats {
+    /// Jobs this backend executed.
+    pub jobs: u64,
+    /// Total wall-clock seconds spent in this backend's
+    /// `expectation` calls (summed across workers).
+    pub seconds: f64,
+}
+
+/// A point-in-time snapshot of a [`Service`]'s counters.
+#[non_exhaustive]
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Total submissions accepted (including cache hits and joins).
+    pub submitted: u64,
+    /// Jobs actually executed on a backend — with caching and
+    /// single-flight dedup this is the number of *unique* jobs seen.
+    pub executed: u64,
+    /// Submissions answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Cache probes that found nothing.
+    pub cache_misses: u64,
+    /// Cache entries displaced by newer results.
+    pub cache_evictions: u64,
+    /// Submissions that joined an already-in-flight identical job
+    /// (the single-flight wins that never reached the queue).
+    pub dedup_joins: u64,
+    /// Deepest the bounded queue ever got.
+    pub queue_high_water: usize,
+    /// Per-backend job counts and cumulative latencies, keyed by
+    /// [`qns_api::Backend::name`].
+    pub per_backend: BTreeMap<&'static str, BackendStats>,
+}
+
+impl ServiceStats {
+    /// Cache hits over cache probes; `0.0` before the first probe.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Submissions that did **not** trigger a backend execution
+    /// (cache hits plus single-flight joins).
+    pub fn saved_executions(&self) -> u64 {
+        self.cache_hits + self.dedup_joins
+    }
+}
+
+/// One queued unit of work.
+struct Task {
+    key: u128,
+    route: Route,
+    spec: JobSpec,
+    flight: Arc<Flight>,
+}
+
+/// Everything behind the service's single state lock. Workers hold the
+/// lock only for queue/cache/table operations — never while a backend
+/// runs.
+struct State {
+    queue: VecDeque<Task>,
+    cache: LruCache,
+    inflight: HashMap<u128, Arc<Flight>>,
+    submitted: u64,
+    executed: u64,
+    dedup_joins: u64,
+    queue_high_water: usize,
+    per_backend: BTreeMap<&'static str, BackendStats>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for queued tasks.
+    work: Condvar,
+    /// Submitters wait here for queue space (backpressure).
+    space: Condvar,
+    queue_capacity: usize,
+    engines: Vec<SharedBackend>,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("service state poisoned")
+    }
+}
+
+/// Configures and spawns a [`Service`].
+///
+/// Defaults: 2 workers, a 256-entry cache, a 1024-deep queue,
+/// [`Route::Auto`], and one default-configured instance of every
+/// engine in the workspace. Replace the engine set (to pick
+/// approximation levels, bond caps, sample counts or seeds) with
+/// [`ServiceBuilder::engines`] / [`ServiceBuilder::with_engine`].
+#[derive(Clone)]
+pub struct ServiceBuilder {
+    workers: usize,
+    cache_capacity: usize,
+    queue_capacity: usize,
+    route: Route,
+    engines: Vec<SharedBackend>,
+}
+
+/// One default-configured instance of every engine in the workspace —
+/// the engine set a [`ServiceBuilder`] starts from.
+pub fn default_engines() -> Vec<SharedBackend> {
+    vec![
+        Arc::new(ApproxBackend::level(1)),
+        Arc::new(DensityBackend::new()),
+        Arc::new(TnetBackend::new()),
+        Arc::new(TddBackend::new()),
+        Arc::new(MpoBackend::default()),
+        Arc::new(TrajectoryBackend::default()),
+    ]
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            workers: 2,
+            cache_capacity: 256,
+            queue_capacity: 1024,
+            route: Route::Auto,
+            engines: default_engines(),
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// A builder with the defaults described on the type.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker-thread count (clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Result-cache capacity in entries; `0` disables caching (every
+    /// submission past the single-flight window re-executes).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Bounded-queue depth (clamped to ≥ 1). Submissions block while
+    /// the queue is full.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// The routing policy [`Service::submit`] uses
+    /// ([`Service::submit_routed`] overrides it per job).
+    pub fn route(mut self, route: Route) -> Self {
+        self.route = route;
+        self
+    }
+
+    /// Replaces the engine set.
+    pub fn engines(mut self, engines: Vec<SharedBackend>) -> Self {
+        self.engines = engines;
+        self
+    }
+
+    /// Appends one engine to the set.
+    pub fn with_engine(mut self, engine: SharedBackend) -> Self {
+        self.engines.push(engine);
+        self
+    }
+
+    /// Spawns the worker pool and returns the running service.
+    pub fn build(self) -> Service {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cache: LruCache::new(self.cache_capacity),
+                inflight: HashMap::new(),
+                submitted: 0,
+                executed: 0,
+                dedup_joins: 0,
+                queue_high_water: 0,
+                per_backend: BTreeMap::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            queue_capacity: self.queue_capacity,
+            engines: self.engines,
+        });
+        let workers = (0..self.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qns-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service {
+            shared,
+            workers,
+            default_route: self.route,
+        }
+    }
+}
+
+/// The running service: worker pool + queue + cache + single-flight
+/// table. The crate-level docs describe the submission protocol.
+/// Dropping the service shuts it down: no new submissions, queued
+/// work drains, workers join.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    default_route: Route,
+}
+
+impl Service {
+    /// Submits under the builder's default routing policy.
+    ///
+    /// # Errors
+    ///
+    /// [`QnsError::InvalidJob`] after [`Service::shutdown`]. Routing
+    /// and execution errors arrive on the handle, not here.
+    pub fn submit(&self, spec: &JobSpec) -> Result<JobHandle, QnsError> {
+        self.submit_routed(spec, self.default_route)
+    }
+
+    /// Submits under an explicit routing policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::submit`].
+    pub fn submit_routed(&self, spec: &JobSpec, route: Route) -> Result<JobHandle, QnsError> {
+        let key = route.cache_key(spec.fingerprint);
+        let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(QnsError::InvalidJob {
+                reason: "service has shut down".into(),
+            });
+        }
+        state.submitted += 1;
+
+        // 1. Completed before: answer from the cache.
+        if let Some(est) = state.cache.get(key) {
+            return Ok(JobHandle {
+                flight: Flight::resolved(Ok(est)),
+            });
+        }
+        // 2. Already queued or running: join that flight.
+        if let Some(flight) = state.inflight.get(&key).map(Arc::clone) {
+            state.dedup_joins += 1;
+            return Ok(JobHandle { flight });
+        }
+        // 3. First submission: own the flight, enter the bounded queue.
+        let flight = Flight::pending();
+        state.inflight.insert(key, Arc::clone(&flight));
+        while state.queue.len() >= self.shared.queue_capacity {
+            if state.shutdown {
+                // Other submissions may have dedup-joined this flight
+                // while we waited for queue space — resolve it (with
+                // the shutdown error) before abandoning it, or their
+                // handles would hang forever.
+                let err = QnsError::InvalidJob {
+                    reason: "service shut down while awaiting queue space".into(),
+                };
+                flight.fill(Err(err.clone()));
+                state.inflight.remove(&key);
+                return Err(err);
+            }
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .expect("service state poisoned");
+        }
+        state.queue.push_back(Task {
+            key,
+            route,
+            spec: spec.clone(),
+            flight: Arc::clone(&flight),
+        });
+        state.queue_high_water = state.queue_high_water.max(state.queue.len());
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(JobHandle { flight })
+    }
+
+    /// A point-in-time snapshot of the service's counters.
+    pub fn stats(&self) -> ServiceStats {
+        let state = self.shared.lock();
+        let cache = state.cache.counters();
+        ServiceStats {
+            submitted: state.submitted,
+            executed: state.executed,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            dedup_joins: state.dedup_joins,
+            queue_high_water: state.queue_high_water,
+            per_backend: state.per_backend.clone(),
+        }
+    }
+
+    /// Names of the registered engines, in registration (= routing
+    /// tie-break) order.
+    pub fn engine_names(&self) -> Vec<&'static str> {
+        self.shared.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// Signals shutdown without waiting: new submissions are rejected
+    /// and submitters blocked on queue space wake with an error (their
+    /// flights resolve), while already-queued work keeps draining.
+    /// [`Service::shutdown`] / dropping the service additionally join
+    /// the workers.
+    pub fn begin_shutdown(&self) {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    /// Stops accepting submissions, drains the queue, and joins the
+    /// workers. Outstanding handles all resolve before this returns.
+    /// Dropping the service does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// One worker: pop, route, execute (lock released), record, resolve.
+/// On shutdown the loop drains the queue before exiting, so every
+/// accepted submission resolves.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut state = shared.lock();
+            loop {
+                if let Some(task) = state.queue.pop_front() {
+                    shared.space.notify_one();
+                    break Some(task);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work.wait(state).expect("service state poisoned");
+            }
+        };
+        let Some(task) = task else { return };
+
+        let job = task.spec.job();
+        let (result, executed_on) = match route_job(&shared.engines, &job, task.route) {
+            Ok(idx) => {
+                let engine = &shared.engines[idx];
+                let (result, seconds) = time_it(|| engine.expectation(&job));
+                (result, Some((engine.name(), seconds)))
+            }
+            Err(e) => (Err(e), None),
+        };
+
+        {
+            let mut state = shared.lock();
+            if let Some((name, seconds)) = executed_on {
+                state.executed += 1;
+                let backend = state.per_backend.entry(name).or_default();
+                backend.jobs += 1;
+                backend.seconds += seconds;
+            }
+            if let Ok(est) = &result {
+                state.cache.insert(task.key, est.clone());
+            }
+            state.inflight.remove(&task.key);
+        }
+        task.flight.fill(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_circuit::generators::ghz;
+    use qns_noise::channels;
+
+    fn spec() -> JobSpec {
+        let noisy = NoisyCircuit::inject_random(ghz(3), &channels::depolarizing(1e-3), 2, 7);
+        JobSpec::zeros(noisy)
+    }
+
+    #[test]
+    fn submit_resolves_to_the_direct_backend_result() {
+        let service = ServiceBuilder::new().workers(2).build();
+        let spec = spec();
+        let handle = service.submit(&spec).unwrap();
+        let est = handle.wait().unwrap();
+
+        // Bit-identical to running the routed engine directly.
+        let job = spec.job();
+        let idx = route_job(&default_engines(), &job, Route::Auto).unwrap();
+        let direct = default_engines()[idx].expectation(&job).unwrap();
+        assert_eq!(est.value.to_bits(), direct.value.to_bits());
+        assert_eq!(est.backend, direct.backend);
+    }
+
+    #[test]
+    fn repeat_submissions_hit_the_cache() {
+        let service = ServiceBuilder::new().workers(1).build();
+        let spec = spec();
+        let first = service.submit(&spec).unwrap().wait().unwrap();
+        let second = service.submit(&spec).unwrap().wait().unwrap();
+        assert_eq!(first.value.to_bits(), second.value.to_bits());
+        let stats = service.stats();
+        assert_eq!(stats.executed, 1, "second submission must not re-run");
+        assert_eq!(stats.cache_hits, 1);
+        assert!(stats.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn fixed_and_auto_routes_cache_separately() {
+        let service = ServiceBuilder::new().workers(1).build();
+        let spec = spec();
+        let auto = service.submit_routed(&spec, Route::Auto).unwrap();
+        let fixed = service
+            .submit_routed(&spec, Route::Fixed("density"))
+            .unwrap();
+        assert!(auto.wait().is_ok());
+        assert_eq!(fixed.wait().unwrap().backend, "density");
+        // Distinct cache keys ⇒ both routes executed.
+        assert_eq!(service.stats().executed, 2);
+    }
+
+    #[test]
+    fn router_errors_arrive_on_the_handle() {
+        let service = ServiceBuilder::new().workers(1).build();
+        let handle = service
+            .submit_routed(&spec(), Route::Fixed("nonesuch"))
+            .unwrap();
+        assert!(matches!(
+            handle.wait(),
+            Err(QnsError::Unsupported {
+                backend: "serve-router",
+                ..
+            })
+        ));
+        // Errors are not cached: the submission re-routes next time.
+        assert_eq!(service.stats().executed, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_every_accepted_submission() {
+        let service = ServiceBuilder::new().workers(2).build();
+        let spec = spec();
+        let handles: Vec<_> = (0..4)
+            .map(|bits| {
+                let noisy = spec.noisy().clone();
+                let n = noisy.n_qubits();
+                let s = JobSpec::new(noisy, InitialState::zeros(n), Observable::basis(n, bits))
+                    .unwrap();
+                service.submit(&s).unwrap()
+            })
+            .collect();
+        service.shutdown();
+        // shutdown() joined the workers, so every handle is resolved.
+        for h in &handles {
+            assert!(h.try_get().expect("drained before join").is_ok());
+        }
+    }
+
+    #[test]
+    fn try_get_is_none_only_while_pending() {
+        let service = ServiceBuilder::new().workers(1).build();
+        let handle = service.submit(&spec()).unwrap();
+        let est = handle.wait().unwrap();
+        assert_eq!(
+            handle.try_get().unwrap().unwrap().value.to_bits(),
+            est.value.to_bits()
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Wall-clock timing, shared by the service's per-backend latency
+//! accounting and the `qns-bench` harness binaries (which re-export
+//! this module and add their presentation helpers on top).
+
+use std::time::Instant;
+
+/// Runs `f`, returning its result and the wall-clock seconds it took.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_result() {
+        let (v, t) = time_it(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(t >= 0.0);
+    }
+}

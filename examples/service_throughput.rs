@@ -1,0 +1,107 @@
+//! Serving a mixed QAOA/supremacy workload through `Route::Auto`.
+//!
+//! Builds a handful of noisy QAOA and supremacy circuits, turns each
+//! into several `JobSpec`s (distinct observables), and pushes the
+//! whole workload — with deliberate duplicate submissions — through a
+//! `Service`. The service routes every job to the cheapest feasible
+//! engine, deduplicates identical in-flight work, and answers repeats
+//! from its LRU cache; the closing table shows the resulting
+//! throughput, hit rate and per-engine load.
+//!
+//! Run with: `cargo run --release --example service_throughput`
+
+use qns::circuit::generators::{inst_grid, qaoa_grid_random};
+use qns::noise::{channels, NoisyCircuit};
+use qns::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    const NOISES: usize = 5;
+    const OBSERVABLES: usize = 4;
+    const REPEATS: usize = 3;
+
+    // The mixed workload: two QAOA grids, two supremacy grids.
+    let channel = channels::depolarizing(1e-3);
+    let circuits = vec![
+        ("qaoa_6", qaoa_grid_random(2, 3, 2, 20)),
+        ("qaoa_9", qaoa_grid_random(3, 3, 2, 21)),
+        ("inst_2x3_8", inst_grid(2, 3, 8, 30)),
+        ("inst_3x3_6", inst_grid(3, 3, 6, 31)),
+    ];
+
+    let mut specs = Vec::new();
+    for (i, (name, circuit)) in circuits.into_iter().enumerate() {
+        let noisy = Arc::new(NoisyCircuit::inject_random(
+            circuit,
+            &channel,
+            NOISES,
+            40 + i as u64,
+        ));
+        let n = noisy.n_qubits();
+        for bits in 0..OBSERVABLES {
+            let spec = JobSpec::new(
+                Arc::clone(&noisy),
+                InitialState::zeros(n),
+                Observable::basis(n, bits),
+            )
+            .expect("workload jobs are well-formed");
+            specs.push((name, bits, spec));
+        }
+    }
+    let unique = specs.len();
+
+    let service = ServiceBuilder::new()
+        .workers(4)
+        .cache_capacity(64)
+        .route(Route::Auto)
+        .build();
+
+    println!(
+        "submitting {unique} unique jobs x {REPEATS} repeats = {} submissions\n",
+        unique * REPEATS
+    );
+
+    let start = std::time::Instant::now();
+    // Duplicates interleaved: repeats of a job overlap its first
+    // submission (single-flight) or arrive after it completed (cache).
+    let handles: Vec<_> = (0..REPEATS)
+        .flat_map(|_| specs.iter())
+        .map(|(name, bits, spec)| (name, bits, service.submit(spec).expect("accepted")))
+        .collect();
+    for (i, (name, bits, handle)) in handles.iter().enumerate() {
+        let est = handle.wait().expect("workload jobs are feasible");
+        if i < unique {
+            // Print each unique job once, on its first-round handle.
+            println!(
+                "  {name:>10} |{bits:04b}>  ->  {:+.6e}  via {}",
+                est.value, est.backend
+            );
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let stats = service.stats();
+    println!("\n--- service stats ---");
+    println!("submitted           {:>8}", stats.submitted);
+    println!("backend executions  {:>8}", stats.executed);
+    println!("cache hits          {:>8}", stats.cache_hits);
+    println!("single-flight joins {:>8}", stats.dedup_joins);
+    println!("hit rate            {:>8.3}", stats.cache_hit_rate());
+    println!("queue high-water    {:>8}", stats.queue_high_water);
+    println!(
+        "throughput          {:>8.1} jobs/s",
+        (unique * REPEATS) as f64 / elapsed.max(1e-9)
+    );
+    for (name, b) in &stats.per_backend {
+        println!("engine {name:<12} {:>4} jobs  {:.3}s", b.jobs, b.seconds);
+    }
+
+    assert_eq!(
+        stats.executed, unique as u64,
+        "one execution per unique job"
+    );
+    println!(
+        "\n{} duplicate submissions saved by cache + dedup",
+        stats.saved_executions()
+    );
+}

@@ -8,7 +8,10 @@
 //!
 //! The recommended entry point is the unified [`api`] facade: build an
 //! [`api::ExpectationJob`] once and run it on any of the six engines
-//! through the [`api::Backend`] trait.
+//! through the [`api::Backend`] trait. For many jobs, use the [`serve`]
+//! layer: a [`serve::Service`] routes each job to the cheapest feasible
+//! engine, caches results by canonical fingerprint, and deduplicates
+//! concurrent identical submissions.
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@ pub use qns_core as core;
 pub use qns_linalg as linalg;
 pub use qns_mpo as mpo;
 pub use qns_noise as noise;
+pub use qns_serve as serve;
 pub use qns_sim as sim;
 pub use qns_tdd as tdd;
 pub use qns_tensor as tensor;
@@ -40,8 +44,8 @@ pub use qns_tnet as tnet;
 pub mod prelude {
     pub use qns_api::{
         compare_backends, run_batch, run_batch_parallel, ApproxBackend, Backend, DensityBackend,
-        Estimate, ExpectationJob, InitialState, MpoBackend, Observable, QnsError, Simulation,
-        TddBackend, TnetBackend, TrajectoryBackend,
+        Estimate, ExpectationJob, Fingerprint, InitialState, MpoBackend, Observable, QnsError,
+        Simulation, TddBackend, TnetBackend, TrajectoryBackend,
     };
     pub use qns_circuit::{generators, Circuit, Gate, Operation};
     pub use qns_core::{
@@ -50,6 +54,7 @@ pub mod prelude {
     };
     pub use qns_linalg::{Complex64, Matrix};
     pub use qns_noise::{channels, Kraus, NoisyCircuit};
+    pub use qns_serve::{JobHandle, JobSpec, Route, Service, ServiceBuilder, ServiceStats};
     pub use qns_tnet::builder::ProductState;
     pub use qns_tnet::network::OrderStrategy;
 }

@@ -40,8 +40,9 @@ fn check_all_engines(noisy: &NoisyCircuit, v_bits: usize, label: &str) {
     let backends: Vec<&dyn Backend> = vec![&tdd, &tnet, &mpo, &approx];
     for (backend, result) in backends.iter().zip(compare_backends(&backends, &job)) {
         let est = result.unwrap_or_else(|e| panic!("{label}/{}: {e}", backend.name()));
+        // Bound-aware agreement (truncation slack included for MPO).
         assert!(
-            (est.value - reference.value).abs() < backend.tolerance(),
+            est.agrees_with(&reference, backend.tolerance()),
             "{label}: MM {} vs {} {}",
             reference.value,
             est.backend,
@@ -137,7 +138,8 @@ fn trajectories_agree_within_statistics() {
 
     // The trajectory engine through the facade, on a product observable.
     let job = Simulation::new(&noisy).build().expect("valid job");
-    let exact0 = DensityBackend::new().expectation(&job).unwrap().value;
+    let exact = DensityBackend::new().expectation(&job).unwrap();
+    let exact0 = exact.value;
     for strategy in [
         qns::sim::trajectory::SamplingStrategy::General,
         qns::sim::trajectory::SamplingStrategy::MixedUnitaryFastPath,
@@ -147,11 +149,13 @@ fn trajectories_agree_within_statistics() {
             .with_seed(9)
             .expectation(&job)
             .unwrap();
-        let se = est
-            .std_error
-            .expect("sampling backend reports an error bar");
         assert!(
-            (est.value - exact0).abs() < 5.0 * se.max(1e-3),
+            est.std_error.is_some(),
+            "sampling backend reports an error bar"
+        );
+        // `agrees_with` supplies the 5σ statistical slack itself.
+        assert!(
+            est.agrees_with(&exact, 1e-3),
             "{strategy:?}: {} vs exact {exact0}",
             est.value
         );

@@ -32,6 +32,31 @@ fn all_examples_compile() {
 }
 
 #[test]
+fn service_throughput_runs_to_completion() {
+    let out = cargo()
+        .args(["run", "--quiet", "--example", "service_throughput"])
+        .output()
+        .expect("failed to spawn cargo run --example service_throughput");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "service_throughput exited nonzero:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // A healthy run prints the stats table and the closing
+    // dedup/cache summary (the example asserts the single-flight
+    // invariant itself before printing it).
+    assert!(
+        stdout.contains("--- service stats ---"),
+        "service_throughput output missing its stats table:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("saved by cache + dedup"),
+        "service_throughput output missing its dedup summary:\n{stdout}"
+    );
+}
+
+#[test]
 fn quickstart_runs_to_completion() {
     let out = cargo()
         .args(["run", "--quiet", "--example", "quickstart"])
