@@ -122,10 +122,12 @@ impl ApproxBackend {
     }
 
     /// The substitution-pattern count a run on `noisy` would evaluate
-    /// (`Σ_{u≤l} C(N,u)·3^u`, Theorem 1) — the quantity both the term
-    /// budget guard and the router's cost model are built on.
+    /// (`Σ_{u≤l} C(N,u)·3^u`, Theorem 1) — the same
+    /// [`qns_core::bounds::planned_patterns`] quantity the engine's
+    /// `max_terms` guard checks, so `supports`/`cost_hint` can never
+    /// disagree with `expectation` about feasibility.
     fn planned_patterns(&self, noisy: &NoisyCircuit) -> u128 {
-        qns_core::bounds::contraction_count(noisy.noise_count(), self.opts.level) / 2
+        qns_core::bounds::planned_patterns(noisy.noise_count(), self.opts.level)
     }
 
     /// A backend whose level equals `noisy`'s noise count — exact for

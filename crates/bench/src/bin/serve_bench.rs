@@ -147,9 +147,15 @@ fn main() {
     );
 
     // The default engine set, with the approximation level configurable
-    // (the one knob the mixed workload is sensitive to).
+    // (the one knob the mixed workload is sensitive to). Replace the
+    // approx engine by name, not position, so a reordered
+    // `default_engines()` can't silently swap out a different engine.
     let mut engines = default_engines();
-    engines[0] = Arc::new(ApproxBackend::level(level));
+    let approx = engines
+        .iter_mut()
+        .find(|e| e.name() == "approx")
+        .expect("default_engines() always includes the approx engine");
+    *approx = Arc::new(ApproxBackend::level(level));
     let service = ServiceBuilder::new()
         .workers(workers)
         .cache_capacity(2 * unique)

@@ -1,11 +1,11 @@
 //! Timing helpers for the harness binaries.
 //!
-//! The measurement primitive (`time_it`) lives in `qns-serve`, where
-//! the service's latency accounting also uses it; this module
-//! re-exports it and adds the paper-table *presentation* helpers,
-//! which are benchmark-only concerns.
+//! The measurement primitive (`time_it`) lives in `qns-core`, the
+//! lowest shared layer, where `qns-serve`'s latency accounting also
+//! finds it; this module re-exports it and adds the paper-table
+//! *presentation* helpers, which are benchmark-only concerns.
 
-pub use qns_serve::timing::time_it;
+pub use qns_core::timing::time_it;
 
 /// Formats a seconds value like the paper's tables (`0.095`, `15.74`),
 /// or the given marker for `None` (timeout / memory-out).

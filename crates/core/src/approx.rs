@@ -249,7 +249,7 @@ fn check_state(
 /// Validates the Theorem-1 pattern budget against the `max_terms`
 /// guard, returning the planned pattern count.
 fn check_budget(n_sites: usize, level: usize, max_terms: u128) -> Result<u128, QnsError> {
-    let planned: u128 = crate::bounds::contraction_count(n_sites, level) / 2;
+    let planned: u128 = crate::bounds::planned_patterns(n_sites, level);
     if planned > max_terms {
         return Err(QnsError::TermBudgetExceeded {
             level,
@@ -764,7 +764,7 @@ pub fn simulate_auto(
     let p = noisy.max_noise_rate();
     let mut best_bound = f64::INFINITY;
     for level in 0..=n {
-        let patterns = crate::bounds::contraction_count(n, level) / 2;
+        let patterns = crate::bounds::planned_patterns(n, level);
         if patterns > base.max_terms {
             break;
         }

@@ -60,6 +60,16 @@ pub fn contraction_count(n_noises: usize, level: usize) -> u128 {
     2 * total
 }
 
+/// The substitution-pattern count a level-`l` run over `n_noises`
+/// noises evaluates: `Σ_{i=0..l} C(N,i)·3^i` — half of
+/// [`contraction_count`], since every pattern contracts two
+/// single-size networks. This is the quantity the engine's `max_terms`
+/// budget guard and the routing cost model are both built on; keeping
+/// it in one place keeps them in agreement.
+pub fn planned_patterns(n_noises: usize, level: usize) -> u128 {
+    contraction_count(n_noises, level) / 2
+}
+
 /// The smallest level whose Theorem-1 bound meets `target_error`, or
 /// `None` if even the exact level `N` misses it (only possible for
 /// `target_error ≤ 0`).
@@ -162,6 +172,14 @@ mod tests {
         assert_eq!(contraction_count(10, 1), 2 * (1 + 3 * 10));
         // l=2 with N=4: 2(1 + 12 + C(4,2)·9) = 2(1+12+54) = 134.
         assert_eq!(contraction_count(4, 2), 134);
+    }
+
+    #[test]
+    fn planned_patterns_is_half_the_contraction_count() {
+        for (n, l) in [(10, 0), (10, 1), (4, 2), (3, 99)] {
+            assert_eq!(planned_patterns(n, l), contraction_count(n, l) / 2);
+        }
+        assert_eq!(planned_patterns(10, 1), 1 + 3 * 10);
     }
 
     #[test]

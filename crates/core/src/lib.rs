@@ -44,6 +44,7 @@ pub mod approx;
 pub mod bounds;
 pub mod noise_svd;
 pub mod permutation;
+pub mod timing;
 
 pub use approx::{
     append_ideal_inverse, approximate_expectation, approximate_expectation_unsplit,
@@ -51,7 +52,7 @@ pub use approx::{
     try_approximate_expectation_unsplit, try_approximate_matrix_element, try_reconstruct_density,
     ApproxOptions, ApproxResult, AutoReport,
 };
-pub use bounds::{contraction_count, error_bound, level_recommendation};
+pub use bounds::{contraction_count, error_bound, level_recommendation, planned_patterns};
 pub use noise_svd::NoiseSvd;
 pub use permutation::tensor_permute;
 pub use qns_noise::QnsError;

@@ -1,6 +1,6 @@
-//! Wall-clock timing, shared by the service's per-backend latency
-//! accounting and the `qns-bench` harness binaries (which re-export
-//! this module and add their presentation helpers on top).
+//! Wall-clock timing, shared by the serving layer's per-backend
+//! latency accounting and the `qns-bench` harness binaries (both
+//! re-export [`time_it`] and add their own concerns on top).
 
 use std::time::Instant;
 

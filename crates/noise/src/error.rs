@@ -72,6 +72,14 @@ pub enum QnsError {
         /// Why it declined.
         reason: String,
     },
+    /// An engine panicked while executing a job and the serving layer
+    /// contained it. The job itself may be perfectly valid — retrying
+    /// or routing to a different engine is a reasonable response,
+    /// unlike for [`QnsError::InvalidJob`].
+    ExecutionPanicked {
+        /// The panic payload, when it was a string.
+        reason: String,
+    },
 }
 
 impl fmt::Display for QnsError {
@@ -112,6 +120,9 @@ impl fmt::Display for QnsError {
             QnsError::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
             QnsError::Unsupported { backend, reason } => {
                 write!(f, "backend `{backend}` cannot run this job: {reason}")
+            }
+            QnsError::ExecutionPanicked { reason } => {
+                write!(f, "execution panicked: {reason}")
             }
         }
     }

@@ -52,7 +52,6 @@
 pub mod cache;
 pub mod router;
 mod service;
-pub mod timing;
 
 pub use cache::{CacheCounters, LruCache};
 pub use router::{route_job, Route, SharedBackend};

@@ -8,22 +8,28 @@
 //!
 //! Concurrency protocol, in submission order under one state lock:
 //!
-//! 1. **Cache probe** — a completed identical (fingerprint + route)
-//!    job answers immediately from the LRU cache.
-//! 2. **Single-flight join** — an identical job already queued or
-//!    running hands back a handle to the *same* flight: N concurrent
-//!    submissions of one job cost exactly one backend execution.
+//! 1. **Single-flight join** — an identical (fingerprint + route) job
+//!    already queued or running hands back a handle to the *same*
+//!    flight: N concurrent submissions of one job cost exactly one
+//!    backend execution. Joins happen before (and without) a cache
+//!    probe, so they never count against the cache hit rate.
+//! 2. **Cache probe** — a completed identical job answers immediately
+//!    from the LRU cache.
 //! 3. **Enqueue** — otherwise the job registers as the flight owner
 //!    and joins the bounded queue (submission blocks while the queue
 //!    is at capacity — backpressure, not unbounded memory).
+//!
+//! A key is never in the single-flight table and the cache at once:
+//! workers insert the result and retire the flight under one lock, and
+//! a flight only registers after a cache miss.
 
 use crate::cache::LruCache;
 use crate::router::{route_job, Route, SharedBackend};
-use crate::timing::time_it;
 use qns_api::{
     ApproxBackend, DensityBackend, Estimate, ExpectationJob, Fingerprint, InitialState, MpoBackend,
     Observable, QnsError, TddBackend, TnetBackend, TrajectoryBackend,
 };
+use qns_core::timing::time_it;
 use qns_noise::NoisyCircuit;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -185,7 +191,9 @@ pub struct ServiceStats {
     pub executed: u64,
     /// Submissions answered straight from the result cache.
     pub cache_hits: u64,
-    /// Cache probes that found nothing.
+    /// Cache probes that found nothing. Submissions that join an
+    /// in-flight execution never probe the cache, so dedup joins do
+    /// not deflate [`ServiceStats::cache_hit_rate`].
     pub cache_misses: u64,
     /// Cache entries displaced by newer results.
     pub cache_evictions: u64,
@@ -412,41 +420,51 @@ impl Service {
                 reason: "service has shut down".into(),
             });
         }
-        state.submitted += 1;
+        // `submitted` counts *accepted* submissions only, so each of
+        // the three accept paths below bumps it — never a rejection
+        // (including the post-backpressure shutdown rejection).
 
-        // 1. Completed before: answer from the cache.
+        // 1. Already queued or running: join that flight. No cache
+        //    probe — a join is not a cache miss.
+        if let Some(flight) = state.inflight.get(&key).map(Arc::clone) {
+            state.submitted += 1;
+            state.dedup_joins += 1;
+            return Ok(JobHandle { flight });
+        }
+        // 2. Completed before: answer from the cache.
         if let Some(est) = state.cache.get(key) {
+            state.submitted += 1;
             return Ok(JobHandle {
                 flight: Flight::resolved(Ok(est)),
             });
         }
-        // 2. Already queued or running: join that flight.
-        if let Some(flight) = state.inflight.get(&key).map(Arc::clone) {
-            state.dedup_joins += 1;
-            return Ok(JobHandle { flight });
-        }
         // 3. First submission: own the flight, enter the bounded queue.
         let flight = Flight::pending();
         state.inflight.insert(key, Arc::clone(&flight));
-        while state.queue.len() >= self.shared.queue_capacity {
-            if state.shutdown {
-                // Other submissions may have dedup-joined this flight
-                // while we waited for queue space — resolve it (with
-                // the shutdown error) before abandoning it, or their
-                // handles would hang forever.
-                let err = QnsError::InvalidJob {
-                    reason: "service shut down while awaiting queue space".into(),
-                };
-                flight.fill(Err(err.clone()));
-                state.inflight.remove(&key);
-                return Err(err);
-            }
+        while state.queue.len() >= self.shared.queue_capacity && !state.shutdown {
             state = self
                 .shared
                 .space
                 .wait(state)
                 .expect("service state poisoned");
         }
+        // The shutdown check must come AFTER the wait loop, not only
+        // inside it: workers may drain the queue and exit (observing
+        // `shutdown && queue empty`) between our wake-up and
+        // reacquiring the lock, in which case the queue has space but a
+        // pushed task would never run. Other submissions may have
+        // dedup-joined this flight while we waited — resolve it with
+        // the shutdown error before abandoning it, or their handles
+        // would hang forever.
+        if state.shutdown {
+            let err = QnsError::InvalidJob {
+                reason: "service shut down while awaiting queue space".into(),
+            };
+            flight.fill(Err(err.clone()));
+            state.inflight.remove(&key);
+            return Err(err);
+        }
+        state.submitted += 1;
         state.queue.push_back(Task {
             key,
             route,
@@ -536,15 +554,35 @@ fn worker_loop(shared: &Shared) {
         };
         let Some(task) = task else { return };
 
-        let job = task.spec.job();
-        let (result, executed_on) = match route_job(&shared.engines, &job, task.route) {
-            Ok(idx) => {
-                let engine = &shared.engines[idx];
-                let (result, seconds) = time_it(|| engine.expectation(&job));
-                (result, Some((engine.name(), seconds)))
+        // A panicking backend (custom engines arrive through
+        // `ServiceBuilder::with_engine`) must not kill the worker:
+        // that would strand the flight — every joined handle would
+        // hang in `wait()` forever — and silently shrink the pool.
+        // Contain it and resolve the flight with an error instead.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let job = task.spec.job();
+            match route_job(&shared.engines, &job, task.route) {
+                Ok(idx) => {
+                    let engine = &shared.engines[idx];
+                    let (result, seconds) = time_it(|| engine.expectation(&job));
+                    (result, Some((engine.name(), seconds)))
+                }
+                Err(e) => (Err(e), None),
             }
-            Err(e) => (Err(e), None),
-        };
+        }));
+        let (result, executed_on) = outcome.unwrap_or_else(|payload| {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            (
+                Err(QnsError::ExecutionPanicked {
+                    reason: format!("backend panicked: {what}"),
+                }),
+                None,
+            )
+        });
 
         {
             let mut state = shared.lock();
@@ -651,6 +689,121 @@ mod tests {
         for h in &handles {
             assert!(h.try_get().expect("drained before join").is_ok());
         }
+    }
+
+    #[test]
+    fn shutdown_during_backpressure_resolves_every_handle() {
+        // Regression: a submitter blocked on a full queue could wake
+        // *after* the workers had drained the queue and exited on
+        // shutdown, see queue space, and push a task no worker would
+        // ever run — leaving its handle (and every dedup-joined
+        // handle) hanging forever. Stress the interleaving: a tiny
+        // queue, concurrent submitters, and a shutdown signal racing
+        // the backpressure wait. Every accepted handle must resolve
+        // once the workers have joined.
+        for _ in 0..16 {
+            let service = Arc::new(ServiceBuilder::new().workers(1).queue_capacity(1).build());
+            let base = spec();
+            let barrier = Arc::new(std::sync::Barrier::new(3));
+            let submitters: Vec<_> = (0..2u64)
+                .map(|t| {
+                    let service = Arc::clone(&service);
+                    let barrier = Arc::clone(&barrier);
+                    let noisy = base.noisy().clone();
+                    std::thread::spawn(move || {
+                        let n = noisy.n_qubits();
+                        barrier.wait();
+                        let mut handles = Vec::new();
+                        for bits in 4 * t..4 * (t + 1) {
+                            let s = JobSpec::new(
+                                noisy.clone(),
+                                InitialState::zeros(n),
+                                Observable::basis(n, bits as usize),
+                            )
+                            .unwrap();
+                            match service.submit(&s) {
+                                Ok(h) => handles.push(h),
+                                Err(_) => break, // shutdown won the race
+                            }
+                        }
+                        handles
+                    })
+                })
+                .collect();
+            barrier.wait();
+            service.begin_shutdown();
+            let handles: Vec<_> = submitters
+                .into_iter()
+                .flat_map(|t| t.join().unwrap())
+                .collect();
+            drop(service); // joins the workers (drop is the last Arc)
+            for h in &handles {
+                assert!(
+                    h.try_get().is_some(),
+                    "an accepted handle was stranded by shutdown"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_joins_do_not_count_as_cache_misses() {
+        // Saturate a single worker so a second identical submission
+        // joins the first in-flight execution instead of probing the
+        // cache: the join must not log a miss.
+        let service = ServiceBuilder::new().workers(1).build();
+        let spec = spec();
+        let a = service.submit(&spec).unwrap();
+        let mut joined = false;
+        for _ in 0..64 {
+            service.submit(&spec).unwrap();
+            let stats = service.stats();
+            if stats.dedup_joins > 0 {
+                joined = true;
+                assert_eq!(
+                    stats.cache_misses, 1,
+                    "only the flight owner probes the cache"
+                );
+                break;
+            }
+        }
+        a.wait().unwrap();
+        // Tiny jobs can resolve before we resubmit; only assert when a
+        // join actually happened (it does on any normally loaded box).
+        if !joined {
+            eprintln!("note: no dedup join observed; interleaving not exercised");
+        }
+    }
+
+    #[test]
+    fn backend_panic_resolves_the_flight_and_keeps_the_worker_alive() {
+        struct PanickingBackend;
+        impl qns_api::Backend for PanickingBackend {
+            fn name(&self) -> &'static str {
+                "panicker"
+            }
+            fn expectation(&self, _job: &ExpectationJob<'_>) -> Result<Estimate, QnsError> {
+                panic!("deliberate test panic")
+            }
+        }
+
+        let service = ServiceBuilder::new()
+            .workers(1)
+            .with_engine(Arc::new(PanickingBackend))
+            .build();
+        let spec = spec();
+        let handle = service
+            .submit_routed(&spec, Route::Fixed("panicker"))
+            .unwrap();
+        match handle.wait() {
+            Err(QnsError::ExecutionPanicked { reason }) => {
+                assert!(reason.contains("panicked"), "unexpected reason: {reason}")
+            }
+            other => panic!("expected a contained panic error, got {other:?}"),
+        }
+        // The sole worker survived the panic and still serves jobs.
+        let est = service.submit_routed(&spec, Route::Auto).unwrap().wait();
+        assert!(est.is_ok(), "worker died after a contained panic: {est:?}");
     }
 
     #[test]
