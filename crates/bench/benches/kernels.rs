@@ -6,10 +6,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qns_circuit::{Gate, Operation};
 use qns_core::NoiseSvd;
-use qns_linalg::{c64, Matrix};
+use qns_linalg::{c64, Complex64, Matrix};
 use qns_noise::channels;
 use qns_sim::kernels as svk;
 use qns_tensor::Tensor;
+use qns_tnet::exec::Workspace;
+use qns_tnet::network::{OrderStrategy, TensorNetwork};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
@@ -66,6 +68,83 @@ fn bench_tensor_contraction(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_matmul_kernels(c: &mut Criterion) {
+    // Allocating matmul vs the `_into` micro-kernel writing into a
+    // reused buffer — the contraction engine's per-step primitive.
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(11);
+    for n in [4usize, 16, 64] {
+        let a = random_matrix(&mut rng, n);
+        let b = random_matrix(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("alloc", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+        let mut out = vec![Complex64::ZERO; n * n];
+        group.bench_with_input(BenchmarkId::new("into", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_permute_kernels(c: &mut Criterion) {
+    // Allocating permute vs permute_into on a rank-8 qubit-leg tensor.
+    let mut group = c.benchmark_group("permute");
+    let mut rng = StdRng::seed_from_u64(12);
+    let len = 1usize << 8;
+    let data: Vec<_> = (0..len)
+        .map(|_| c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+        .collect();
+    let t = Tensor::from_vec(data, vec![2; 8]);
+    let perm = [7usize, 0, 6, 1, 5, 2, 4, 3];
+    group.bench_function("alloc", |b| b.iter(|| black_box(&t).permute(&perm)));
+    let mut out = vec![Complex64::ZERO; len];
+    group.bench_function("into", |b| {
+        b.iter(|| black_box(&t).permute_into(&perm, &mut out))
+    });
+    group.finish();
+}
+
+fn bench_compiled_contract(c: &mut Criterion) {
+    // Whole-plan replay: reference Tensor::contract chain vs compiled
+    // kernels through a warm workspace, on a chain whose interior
+    // nodes carry deliberately unsorted axis orders so the per-step
+    // permutations are not all identity-elided.
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut rand_t = |shape: Vec<usize>| {
+        let len = shape.iter().product();
+        let data: Vec<_> = (0..len)
+            .map(|_| c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+            .collect();
+        Tensor::from_vec(data, shape)
+    };
+    let mut net = TensorNetwork::new();
+    let k = 6usize;
+    let bonds: Vec<_> = (0..k).map(|_| net.fresh_leg()).collect();
+    let opens: Vec<_> = (0..k + 1).map(|_| net.fresh_leg()).collect();
+    net.add(rand_t(vec![2, 4]), vec![opens[0], bonds[0]]);
+    for i in 1..k {
+        // Axis order [bond_i, bond_{i-1}, open_i]: the incoming bond
+        // is neither trailing nor leading, forcing a permutation.
+        net.add(
+            rand_t(vec![4, 4, 2]),
+            vec![bonds[i], bonds[i - 1], opens[i]],
+        );
+    }
+    net.add(rand_t(vec![2, 4]), vec![opens[k], bonds[k - 1]]);
+    let plan = net.plan(OrderStrategy::Greedy);
+    let exec = plan.compile();
+    let mut group = c.benchmark_group("contract_plan");
+    group.bench_function("reference", |b| {
+        b.iter(|| plan.execute_network_reference(black_box(&net)))
+    });
+    let mut ws = Workspace::for_plan(&exec);
+    group.bench_function("compiled", |b| {
+        b.iter(|| exec.execute_network_into(black_box(&net), &mut ws).len())
+    });
+    group.finish();
+}
+
 fn bench_statevector_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevector_gate");
     for n in [10usize, 14, 18] {
@@ -116,6 +195,9 @@ criterion_group!(
     bench_svd,
     bench_noise_decomposition,
     bench_tensor_contraction,
+    bench_matmul_kernels,
+    bench_permute_kernels,
+    bench_compiled_contract,
     bench_statevector_kernels,
     bench_dd_apply,
     bench_gate_expansion

@@ -1,0 +1,262 @@
+//! Per-pattern contraction-kernel benchmark: replays the pattern sum's
+//! payload-swap-and-contract loop on the QAOA and supremacy registry
+//! workloads through both execution paths —
+//!
+//! * the **allocating reference** (the pre-compilation path:
+//!   `ContractionPlan::execute_network_reference`, which chains
+//!   `Tensor::contract` with fresh buffers and permuted copies every
+//!   step), and
+//! * the **compiled** path (`ExecutablePlan` + one reusable
+//!   `Workspace`: precomputed kernels, zero steady-state allocations),
+//!
+//! and reports per-pattern latency and speedup into
+//! `BENCH_contract.json` (CI uploads it as an artifact).
+//!
+//! Usage:
+//!   cargo run -p qns-bench --release --bin contract_bench -- \
+//!       [--smoke] [--patterns P] [--noises N] [--out PATH]
+//!
+//! Two invariants are *asserted* on every run (and gate CI via
+//! `--smoke`):
+//!
+//! 1. both paths produce **bit-identical** pattern sums, and
+//! 2. the workspace's allocation counter reads **0 after the first
+//!    pattern** — the zero-allocation steady state the compiled engine
+//!    guarantees.
+
+use qns_bench::registry::{default_set, smoke_set, BenchCircuit, Family};
+use qns_bench::timing::time_it;
+use qns_bench::{arg_flag, arg_usize, print_row};
+use qns_core::NoiseSvd;
+use qns_linalg::{Complex64, Matrix};
+use qns_noise::{channels, NoisyCircuit};
+use qns_tensor::Tensor;
+use qns_tnet::builder::{AmplitudeSkeleton, Insertion, ProductState};
+use qns_tnet::exec::Workspace;
+use qns_tnet::network::OrderStrategy;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::io::Write;
+
+/// The split-half skeletons, compiled plans and pre-resolved SVD-term
+/// payloads of one workload — the same once-per-run setup the
+/// approximation evaluator performs.
+struct Workload {
+    name: String,
+    upper: AmplitudeSkeleton,
+    lower: AmplitudeSkeleton,
+    up_plan: qns_tnet::plan::ContractionPlan,
+    lo_plan: qns_tnet::plan::ContractionPlan,
+    up_exec: qns_tnet::exec::ExecutablePlan,
+    lo_exec: qns_tnet::exec::ExecutablePlan,
+    /// `payloads[site][term] = (U tensor, V tensor)`.
+    payloads: Vec<[(Tensor, Tensor); 4]>,
+}
+
+fn build_workload(bench: &BenchCircuit, noises: usize, seed: u64) -> Workload {
+    let channel = channels::thermal_relaxation(30.0, 40.0, 25.0);
+    let noisy = NoisyCircuit::inject_random(bench.circuit.clone(), &channel, noises, seed);
+    let n = noisy.n_qubits();
+    let psi = ProductState::all_zeros(n);
+    let v = ProductState::basis(n, 0);
+    let placeholders: Vec<Insertion> = noisy
+        .events()
+        .iter()
+        .map(|e| Insertion {
+            after_gate: e.after_gate,
+            qubit: e.qubit,
+            matrix: Matrix::identity(2),
+        })
+        .collect();
+    let upper = AmplitudeSkeleton::new(noisy.circuit(), &psi, &v, &placeholders, false);
+    let lower = AmplitudeSkeleton::new(noisy.circuit(), &psi, &v, &placeholders, true);
+    let up_plan = upper.plan(OrderStrategy::Greedy);
+    let lo_plan = lower.plan(OrderStrategy::Greedy);
+    let payloads = noisy
+        .events()
+        .iter()
+        .map(|e| {
+            let svd = NoiseSvd::decompose(&e.kraus);
+            std::array::from_fn(|term| {
+                let (u, vm) = svd.term(term);
+                (Tensor::from_matrix(u), Tensor::from_matrix(vm))
+            })
+        })
+        .collect();
+    Workload {
+        name: bench.name.clone(),
+        up_exec: up_plan.compile(),
+        lo_exec: lo_plan.compile(),
+        upper,
+        lower,
+        up_plan,
+        lo_plan,
+        payloads,
+    }
+}
+
+/// Random substitution patterns, fixed per workload so both paths
+/// replay the identical sequence.
+fn random_patterns(n_sites: usize, count: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..n_sites).map(|_| rng.random_range(0..4usize)).collect())
+        .collect()
+}
+
+struct PathResult {
+    sum: Complex64,
+    seconds: f64,
+}
+
+/// The pre-PR allocating path: payload swap by tensor replacement,
+/// reference replay chaining `Tensor::contract`.
+fn run_reference(w: &mut Workload, patterns: &[Vec<usize>]) -> PathResult {
+    let (sum, seconds) = time_it(|| {
+        let mut acc = Complex64::ZERO;
+        for pat in patterns {
+            for (i, &term) in pat.iter().enumerate() {
+                let (u, v) = &w.payloads[i][term];
+                w.upper.set_insertion_tensor(i, u.clone());
+                w.lower.set_insertion_tensor(i, v.clone());
+            }
+            let (t_up, _) = w.up_plan.execute_network_reference(w.upper.network());
+            let (t_lo, _) = w.lo_plan.execute_network_reference(w.lower.network());
+            acc += t_up.scalar_value() * t_lo.scalar_value();
+        }
+        acc
+    });
+    PathResult { sum, seconds }
+}
+
+/// The compiled path: in-place payload memcpy, kernel replay through
+/// one reusable workspace. Also returns the workspace allocation
+/// events observed *after* the first pattern (the zero-allocation
+/// steady-state counter; must be zero).
+fn run_compiled(w: &mut Workload, patterns: &[Vec<usize>]) -> (PathResult, u64) {
+    let mut ws = Workspace::new();
+    let mut warm = 0u64;
+    let (sum, seconds) = time_it(|| {
+        let mut acc = Complex64::ZERO;
+        for (p, pat) in patterns.iter().enumerate() {
+            for (i, &term) in pat.iter().enumerate() {
+                let (u, v) = &w.payloads[i][term];
+                w.upper.set_insertion_payload(i, u);
+                w.lower.set_insertion_payload(i, v);
+            }
+            let up = w.up_exec.execute_network_scalar(w.upper.network(), &mut ws);
+            let lo = w.lo_exec.execute_network_scalar(w.lower.network(), &mut ws);
+            acc += up * lo;
+            if p == 0 {
+                warm = ws.allocation_events();
+            }
+        }
+        acc
+    });
+    let steady_allocs = ws.allocation_events() - warm;
+    (PathResult { sum, seconds }, steady_allocs)
+}
+
+fn main() {
+    let smoke = arg_flag("--smoke");
+    let patterns_per = arg_usize("--patterns", if smoke { 64 } else { 256 });
+    let noises = arg_usize("--noises", 6);
+    let out = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_contract.json".to_string());
+
+    let set: Vec<BenchCircuit> = if smoke { smoke_set() } else { default_set() }
+        .into_iter()
+        .filter(|b| matches!(b.family, Family::Qaoa | Family::Supremacy))
+        .collect();
+
+    println!(
+        "contract_bench — {} workloads × {patterns_per} patterns, {noises} noise sites, \
+         allocating reference vs compiled kernels\n",
+        set.len()
+    );
+    let widths = [14usize, 10, 14, 14, 9, 13];
+    print_row(
+        &[
+            "workload".into(),
+            "patterns".into(),
+            "ref µs/pat".into(),
+            "exec µs/pat".into(),
+            "speedup".into(),
+            "steady allocs".into(),
+        ],
+        &widths,
+    );
+
+    let mut rows = Vec::new();
+    for (i, bench) in set.iter().enumerate() {
+        let mut w = build_workload(bench, noises, 0xC047 + i as u64);
+        let pats = random_patterns(w.payloads.len(), patterns_per, 0xFEED + i as u64);
+
+        // Warm both paths once (cold caches, lazy page faults).
+        let warmup = &pats[..1.min(pats.len())];
+        let _ = run_reference(&mut w, warmup);
+        let _ = run_compiled(&mut w, warmup);
+
+        let reference = run_reference(&mut w, &pats);
+        let (compiled, steady_allocs) = run_compiled(&mut w, &pats);
+
+        assert_eq!(
+            compiled.sum, reference.sum,
+            "{}: compiled pattern sum must be bit-identical to the reference",
+            w.name
+        );
+        assert_eq!(
+            steady_allocs, 0,
+            "{}: workspace allocated after the first pattern",
+            w.name
+        );
+
+        let ref_us = reference.seconds * 1e6 / patterns_per as f64;
+        let exec_us = compiled.seconds * 1e6 / patterns_per as f64;
+        let speedup = reference.seconds / compiled.seconds.max(1e-12);
+        print_row(
+            &[
+                w.name.clone(),
+                patterns_per.to_string(),
+                format!("{ref_us:.1}"),
+                format!("{exec_us:.1}"),
+                format!("{speedup:.2}x"),
+                steady_allocs.to_string(),
+            ],
+            &widths,
+        );
+        rows.push((w.name.clone(), ref_us, exec_us, speedup));
+    }
+
+    let geomean = rows
+        .iter()
+        .map(|(_, _, _, s)| s.ln())
+        .sum::<f64>()
+        .exp()
+        .powf(1.0 / rows.len().max(1) as f64);
+    println!("\ngeometric-mean speedup: {geomean:.2}x");
+
+    let mut per = String::new();
+    for (i, (name, r, e, s)) in rows.iter().enumerate() {
+        if i > 0 {
+            per.push(',');
+        }
+        per.push_str(&format!(
+            "{{\"workload\":\"{name}\",\"ref_us_per_pattern\":{r:.2},\
+             \"exec_us_per_pattern\":{e:.2},\"speedup\":{s:.3}}}"
+        ));
+    }
+    let json = format!(
+        "{{\"mode\":\"{}\",\"patterns_per_workload\":{patterns_per},\
+         \"noises\":{noises},\"steady_state_allocations\":0,\
+         \"geomean_speedup\":{geomean:.3},\"workloads\":[{per}]}}\n",
+        if smoke { "smoke" } else { "default" },
+    );
+    let mut f = std::fs::File::create(&out).expect("create bench report");
+    f.write_all(json.as_bytes()).expect("write bench report");
+    println!("report written to {out}");
+}

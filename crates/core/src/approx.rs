@@ -37,8 +37,8 @@ use qns_linalg::{Complex64, Matrix};
 use qns_noise::{NoiseEvent, NoisyCircuit, QnsError};
 use qns_tensor::Tensor;
 use qns_tnet::builder::{AmplitudeSkeleton, DoubleSkeleton, Insertion, ProductState};
+use qns_tnet::exec::{ExecutablePlan, Workspace};
 use qns_tnet::network::{ContractionStats, OrderStrategy};
-use qns_tnet::plan::ContractionPlan;
 use std::sync::Mutex;
 
 /// Options for [`approximate_expectation`].
@@ -154,25 +154,29 @@ struct SplitSkeletons {
     lower: AmplitudeSkeleton,
 }
 
-/// The per-run shared state of the split evaluator: the contraction
-/// plans (searched once) and every site's four SVD-term payload
-/// tensors, pre-resolved — conjugation included — so the hot loop
-/// only clones 2×2 tensors into the skeleton slots.
+/// The per-run shared state of the split evaluator: the **compiled**
+/// contraction plans (searched and lowered once) and every site's four
+/// SVD-term payload tensors, pre-resolved — conjugation included — so
+/// the hot loop only memcpys 2×2 buffers into the skeleton slots and
+/// replays kernels through a per-worker [`Workspace`]: zero heap
+/// allocations per pattern in steady state.
 struct SplitShared {
-    up: ContractionPlan,
-    lo: ContractionPlan,
+    up: ExecutablePlan,
+    lo: ExecutablePlan,
     /// `payloads[site][term] = (upper tensor U_term, lower tensor)`.
     /// The lower network is built with `conjugate = true`, which
     /// conjugates inserted *matrices*; the pre-built tensor carries
     /// `V_term` itself (the old path passed `V.conj()` and let the
     /// builder conjugate it back).
     payloads: Vec<[(Tensor, Tensor); 4]>,
+    /// The stats of the once-per-run setup: two order searches.
+    planning: ContractionStats,
 }
 
 /// Builds the insertion skeletons for `⟨x|·|ψ⟩` (upper) and
 /// `⟨y|·|ψ⟩`* (lower) with identity placeholders at every noise site,
-/// plans both contractions, and resolves the payload tensors — the
-/// once-per-run setup.
+/// plans **and compiles** both contractions, and resolves the payload
+/// tensors — the once-per-run setup.
 fn build_split(
     circuit: &Circuit,
     psi: &ProductState,
@@ -191,8 +195,11 @@ fn build_split(
         .collect();
     let upper = AmplitudeSkeleton::new(circuit, psi, x, &placeholders, false);
     let lower = AmplitudeSkeleton::new(circuit, psi, y, &placeholders, true);
-    let up = upper.plan(strategy);
-    let lo = lower.plan(strategy);
+    let up_plan = upper.plan(strategy);
+    let lo_plan = lower.plan(strategy);
+    let mut planning = ContractionStats::default();
+    planning.absorb(&up_plan.planning_stats());
+    planning.absorb(&lo_plan.planning_stats());
     let payloads = sites
         .iter()
         .map(|s| {
@@ -204,30 +211,38 @@ fn build_split(
         .collect();
     (
         SplitSkeletons { upper, lower },
-        SplitShared { up, lo, payloads },
+        SplitShared {
+            up: up_plan.compile(),
+            lo: lo_plan.compile(),
+            payloads,
+            planning,
+        },
     )
 }
 
-/// Evaluates one substitution pattern by swapping the pre-resolved
-/// `U`/`V` payload tensors into the skeletons and replaying the cached
-/// plans: no network construction, no order search, no matrix
-/// conversions. Returns `amp_up · amp_lo`.
+/// Evaluates one substitution pattern by memcpying the pre-resolved
+/// `U`/`V` payload tensors into the skeleton slots and replaying the
+/// compiled plans through the worker's workspace: no network
+/// construction, no order search, no matrix conversions — and, once
+/// the workspace is warm, no heap allocations. Returns
+/// `amp_up · amp_lo`.
 fn evaluate_pattern_with(
     skels: &mut SplitSkeletons,
     shared: &SplitShared,
     assignment: &[usize],
     stats: &mut ContractionStats,
+    ws: &mut Workspace,
 ) -> Complex64 {
     for (i, &term) in assignment.iter().enumerate() {
         let (u, v) = &shared.payloads[i][term];
-        skels.upper.set_insertion_tensor(i, u.clone());
-        skels.lower.set_insertion_tensor(i, v.clone());
+        skels.upper.set_insertion_payload(i, u);
+        skels.lower.set_insertion_payload(i, v);
     }
-    let (t_up, s_up) = shared.up.execute_network(skels.upper.network());
-    let (t_lo, s_lo) = shared.lo.execute_network(skels.lower.network());
-    stats.absorb(&s_up);
-    stats.absorb(&s_lo);
-    t_up.scalar_value() * t_lo.scalar_value()
+    let amp_up = shared.up.execute_network_scalar(skels.upper.network(), ws);
+    let amp_lo = shared.lo.execute_network_scalar(skels.lower.network(), ws);
+    stats.absorb(&shared.up.replay_stats());
+    stats.absorb(&shared.lo.replay_stats());
+    amp_up * amp_lo
 }
 
 /// Validates that a state's qubit count matches the circuit's.
@@ -357,6 +372,7 @@ fn evaluate_level_sequential(
     shared: &SplitShared,
     n: usize,
     u: usize,
+    ws: &mut Workspace,
 ) -> (Complex64, usize, ContractionStats) {
     let mut stream = PatternStream::new(n, u);
     let mut assignment = vec![0usize; n];
@@ -364,7 +380,7 @@ fn evaluate_level_sequential(
     let mut count = 0usize;
     let mut stats = ContractionStats::default();
     while stream.next_into(&mut assignment) {
-        acc += evaluate_pattern_with(skels, shared, &assignment, &mut stats);
+        acc += evaluate_pattern_with(skels, shared, &assignment, &mut stats, ws);
         count += 1;
     }
     (acc, count, stats)
@@ -400,6 +416,10 @@ fn evaluate_level_parallel(
                     let mut chunk_sums: Vec<(usize, Complex64)> = Vec::new();
                     let mut count = 0usize;
                     let mut stats = ContractionStats::default();
+                    // One workspace per worker, owned across its whole
+                    // chunk stream: sized by the first pattern, then
+                    // reused allocation-free for every later one.
+                    let mut ws = Workspace::for_plan(&shared.up);
                     // Flat chunk buffer: PATTERN_CHUNK assignments of n
                     // sites each, refilled under one lock.
                     let mut buf = vec![0usize; PATTERN_CHUNK * n];
@@ -427,6 +447,7 @@ fn evaluate_level_parallel(
                                 shared,
                                 &buf[k * n..(k + 1) * n],
                                 &mut stats,
+                                &mut ws,
                             );
                         }
                         chunk_sums.push((seq, chunk_acc));
@@ -490,14 +511,17 @@ pub fn try_approximate_expectation(
     let level = opts.level.min(n);
     check_budget(n, level, opts.max_terms)?;
 
-    // Plan-once: both split halves are built and order-searched here,
-    // then only payload-swapped for every pattern below. The search
-    // counters come from the plan objects themselves.
+    // Plan-once: both split halves are built, order-searched and
+    // compiled here, then only payload-swapped for every pattern
+    // below. The search counters come from the plan objects themselves.
     let (mut skels, shared) = build_split(circuit, psi, v, v, &sites, opts.strategy);
     let mut stats = ContractionStats::default();
-    stats.absorb(&shared.up.planning_stats());
-    stats.absorb(&shared.lo.planning_stats());
+    stats.absorb(&shared.planning);
 
+    // Sequential-path workspace, owned across all levels but created
+    // lazily: a fully parallel run (every level fans out to workers,
+    // which own their own workspaces) never allocates it.
+    let mut seq_ws: Option<Workspace> = None;
     let mut per_level = vec![0.0f64; level + 1];
     let mut terms_evaluated = 0usize;
 
@@ -505,7 +529,8 @@ pub fn try_approximate_expectation(
         let (tu, count, level_stats) = if opts.threads > 1 && patterns_at_level(n, u) > 1 {
             evaluate_level_parallel(&skels, &shared, n, u, opts.threads)
         } else {
-            evaluate_level_sequential(&mut skels, &shared, n, u)
+            let ws = seq_ws.get_or_insert_with(|| Workspace::for_plan(&shared.up));
+            evaluate_level_sequential(&mut skels, &shared, n, u, ws)
         };
         stats.absorb(&level_stats);
         terms_evaluated += count;
@@ -577,11 +602,25 @@ pub fn try_approximate_expectation_unsplit(
     };
 
     // Plan-once for the 2n-rail network: every pattern substitutes a
-    // Kronecker pair at every site, so the topology is fixed.
+    // Kronecker pair at every site, so the topology is fixed. The plan
+    // is compiled and every site's four Kronecker-factor payloads are
+    // pre-resolved as tensors, so the per-pattern work is a memcpy
+    // payload swap plus one allocation-free kernel replay.
     let mut skel = DoubleSkeleton::new(noisy, psi, v);
     let plan = skel.plan(opts.strategy);
     let mut stats = ContractionStats::default();
     stats.absorb(&plan.planning_stats());
+    let exec = plan.compile();
+    let mut ws = Workspace::for_plan(&exec);
+    let payloads: Vec<[(Tensor, Tensor); 4]> = sites
+        .iter()
+        .map(|s| {
+            std::array::from_fn(|term| {
+                let (a, b) = s.svd.term(term);
+                (Tensor::from_matrix(a), Tensor::from_matrix(b))
+            })
+        })
+        .collect();
 
     let mut per_level = vec![0.0f64; level + 1];
     let mut terms_evaluated = 0usize;
@@ -591,13 +630,12 @@ pub fn try_approximate_expectation_unsplit(
         let mut tu = Complex64::ZERO;
         let mut stream = PatternStream::new(n, u);
         while stream.next_into(&mut assignment) {
-            for (s, site) in sites.iter().enumerate() {
-                let (a, b) = site.svd.term(assignment[s]);
-                skel.set_replacement(site_key(s), a, b);
+            for (s, payload) in payloads.iter().enumerate() {
+                let (a, b) = &payload[assignment[s]];
+                skel.set_replacement_payload(site_key(s), a, b);
             }
-            let (t, exec_stats) = plan.execute_network(skel.network());
-            stats.absorb(&exec_stats);
-            tu += t.scalar_value();
+            tu += exec.execute_network_scalar(skel.network(), &mut ws);
+            stats.absorb(&exec.replay_stats());
             terms_evaluated += 1;
         }
         *slot = tu.re;
@@ -660,13 +698,14 @@ pub fn try_approximate_matrix_element(
     // `⟨x|E(ρ)|y⟩ = (⟨x| ⊗ ⟨y*|)·M·(|ψ⟩ ⊗ |ψ*⟩)`.
     let (mut skels, shared) = build_split(circuit, psi, x, y, &sites, opts.strategy);
     let mut stats = ContractionStats::default();
+    let mut ws = Workspace::for_plan(&shared.up);
 
     let mut total = Complex64::ZERO;
     let mut assignment = vec![0usize; n];
     for u in 0..=level {
         let mut stream = PatternStream::new(n, u);
         while stream.next_into(&mut assignment) {
-            total += evaluate_pattern_with(&mut skels, &shared, &assignment, &mut stats);
+            total += evaluate_pattern_with(&mut skels, &shared, &assignment, &mut stats, &mut ws);
         }
     }
     Ok(total)

@@ -10,6 +10,8 @@
 //!   algebra (product, Kronecker product, adjoint, trace, norms).
 //! * [`svd()`] — a one-sided Jacobi singular value decomposition, the
 //!   numerical core of the paper's noise-tensor approximation.
+//! * [`kernels`] — allocation-free matmul micro-kernels writing into
+//!   borrowed output slices (the contraction engine's hot path).
 //! * [`eig`] — a Jacobi eigensolver for Hermitian matrices, used to
 //!   validate density matrices and channels.
 //!
@@ -30,6 +32,7 @@
 pub mod complex;
 pub mod eig;
 pub mod functions;
+pub mod kernels;
 pub mod matrix;
 pub mod svd;
 pub mod vector;

@@ -182,26 +182,27 @@ impl Matrix {
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out.data);
+        out
+    }
+
+    /// Matrix product `self · rhs` written into a borrowed row-major
+    /// buffer (fully overwritten) — the allocation-free variant of
+    /// [`Matrix::matmul`], bit-identical to it. See
+    /// [`crate::kernels`] for the underlying micro-kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree or `out` is not
+    /// `self.rows() * rhs.cols()` long.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut [Complex64]) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == Complex64::ZERO {
-                    continue;
-                }
-                let lhs_row = i * rhs.cols;
-                let rhs_row = k * rhs.cols;
-                for j in 0..rhs.cols {
-                    out.data[lhs_row + j] += a * rhs.data[rhs_row + j];
-                }
-            }
-        }
-        out
+        crate::kernels::matmul_into(&self.data, &rhs.data, out, self.rows, self.cols, rhs.cols);
     }
 
     /// Matrix-vector product `self · v`.

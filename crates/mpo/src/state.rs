@@ -79,9 +79,9 @@ impl MpoState {
         let a = &self.sites[q];
         let (dl, dr) = (a.shape()[0], a.shape()[3]);
         // out[l,i,j,r] = Σ_{i',j'} m[(i,j),(i',j')]·a[l,i',j',r]
-        let mt = Tensor::from_matrix(m).reshape(vec![2, 2, 2, 2]); // [i,j,i',j']
+        let mt = Tensor::from_matrix(m).into_reshaped(vec![2, 2, 2, 2]); // [i,j,i',j']
         let out = mt.contract(a, &[2, 3], &[1, 2]); // [i,j,l,r]
-        self.sites[q] = out.permute(&[2, 0, 1, 3]).reshape(vec![dl, 2, 2, dr]);
+        self.sites[q] = out.permute(&[2, 0, 1, 3]).into_reshaped(vec![dl, 2, 2, dr]);
     }
 
     /// Applies a unitary `u` (2×2) to site `q`: `ρ ← uρu†` locally.
@@ -112,13 +112,13 @@ impl MpoState {
         // Θ[l, i1, j1, i2, j2, r]
         let theta = a.contract(&b, &[3], &[0]);
         // Superop tensor [(i1,j1,i2,j2), (i1',j1',i2',j2')] reshaped to 8 axes.
-        let mt = Tensor::from_matrix(m).reshape(vec![2, 2, 2, 2, 2, 2, 2, 2]);
+        let mt = Tensor::from_matrix(m).into_reshaped(vec![2, 2, 2, 2, 2, 2, 2, 2]);
         // Contract primed (input) legs with Θ's physical legs.
         let out = mt.contract(&theta, &[4, 5, 6, 7], &[1, 2, 3, 4]);
         // out axes: [i1, j1, i2, j2, l, r] → [l, i1, j1, i2, j2, r]
         let out = out.permute(&[4, 0, 1, 2, 3, 5]);
         // Split between (l,i1,j1) and (i2,j2,r).
-        let matrix = out.reshape(vec![dl * 4, 4 * dr]).to_matrix();
+        let matrix = out.into_reshaped(vec![dl * 4, 4 * dr]).to_matrix();
         let svd = qns_linalg::svd(&matrix);
         let full_rank = svd
             .singular_values
@@ -145,8 +145,8 @@ impl MpoState {
                 right[(r, c)] = svd.v[(c, r)].conj() * s;
             }
         }
-        self.sites[q] = Tensor::from_matrix(&left).reshape(vec![dl, 2, 2, keep]);
-        self.sites[q + 1] = Tensor::from_matrix(&right).reshape(vec![keep, 2, 2, dr]);
+        self.sites[q] = Tensor::from_matrix(&left).into_reshaped(vec![dl, 2, 2, keep]);
+        self.sites[q + 1] = Tensor::from_matrix(&right).into_reshaped(vec![keep, 2, 2, dr]);
     }
 
     /// Applies a two-qubit unitary to the adjacent pair `(q, q+1)`

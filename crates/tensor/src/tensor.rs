@@ -1,6 +1,7 @@
 //! The dense [`Tensor`] type and its operations.
 
 use qns_linalg::{Complex64, Matrix};
+use std::borrow::Cow;
 use std::fmt;
 
 /// A dense complex tensor of arbitrary rank, stored row-major
@@ -127,15 +128,16 @@ impl Tensor {
 
     fn flat_index(&self, idx: &[usize]) -> usize {
         assert_eq!(idx.len(), self.rank(), "index rank mismatch");
-        let strides = strides_of(&self.shape);
-        idx.iter()
-            .zip(&self.shape)
-            .zip(&strides)
-            .map(|((&i, &s), &st)| {
-                assert!(i < s, "index {i} out of bounds for axis of size {s}");
-                i * st
-            })
-            .sum()
+        // Fold from the fastest-varying (last) axis outward, carrying
+        // the stride as a scalar: no `strides_of` vector per call.
+        let mut flat = 0usize;
+        let mut stride = 1usize;
+        for (&i, &s) in idx.iter().zip(&self.shape).rev() {
+            assert!(i < s, "index {i} out of bounds for axis of size {s}");
+            flat += i * stride;
+            stride *= s;
+        }
+        flat
     }
 
     /// Extracts the scalar from a rank-0 tensor.
@@ -184,6 +186,9 @@ impl Tensor {
 
     /// Reinterprets the buffer with a new shape of equal total size.
     ///
+    /// Clones the buffer; on an owned tensor prefer
+    /// [`Tensor::into_reshaped`], which moves it.
+    ///
     /// # Panics
     ///
     /// Panics if the element counts disagree.
@@ -196,6 +201,34 @@ impl Tensor {
         }
     }
 
+    /// Consuming [`Tensor::reshape`]: reinterprets the buffer with a
+    /// new shape of equal total size, moving the buffer instead of
+    /// cloning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts disagree.
+    pub fn into_reshaped(self, shape: Vec<usize>) -> Tensor {
+        let expect: usize = shape.iter().product();
+        assert_eq!(self.data.len(), expect, "reshape element count mismatch");
+        Tensor {
+            shape,
+            data: self.data,
+        }
+    }
+
+    /// Overwrites this tensor's buffer with `src`'s, without
+    /// reallocating — the zero-allocation payload swap used by the
+    /// pattern sum's hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        assert_eq!(self.shape, src.shape, "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Permutes the axes: `out[idx[perm[0]], idx[perm[1]], …] = in[idx]`,
     /// i.e. axis `perm[k]` of the input becomes axis `k` of the output
     /// (NumPy `transpose` semantics).
@@ -204,6 +237,24 @@ impl Tensor {
     ///
     /// Panics if `perm` is not a permutation of `0..rank`.
     pub fn permute(&self, perm: &[usize]) -> Tensor {
+        let mut data = vec![Complex64::ZERO; self.data.len()];
+        let out_shape = self.permute_into(perm, &mut data);
+        Tensor {
+            shape: out_shape,
+            data,
+        }
+    }
+
+    /// As [`Tensor::permute`], but writes the permuted buffer into
+    /// `out` (fully overwritten) instead of allocating one, and returns
+    /// the permuted shape. `out` must have exactly [`Tensor::len`]
+    /// elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..rank` or `out` has
+    /// the wrong length.
+    pub fn permute_into(&self, perm: &[usize], out: &mut [Complex64]) -> Vec<usize> {
         let r = self.rank();
         assert_eq!(perm.len(), r, "permutation length mismatch");
         let mut seen = vec![false; r];
@@ -211,17 +262,16 @@ impl Tensor {
             assert!(p < r && !seen[p], "invalid permutation");
             seen[p] = true;
         }
+        assert_eq!(out.len(), self.data.len(), "permute output length mismatch");
         let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
         let in_strides = strides_of(&self.shape);
         let out_strides = strides_of(&out_shape);
-        let mut data = vec![Complex64::ZERO; self.data.len()];
         // For each output linear index, decompose into output coords and
-        // gather from the input.
-        let total = self.data.len();
-        // Map: output axis k corresponds to input axis perm[k], so the
-        // input flat index accumulates coord_k * in_strides[perm[k]].
+        // gather from the input. Output axis k corresponds to input axis
+        // perm[k], so the input flat index accumulates
+        // coord_k * in_strides[perm[k]].
         let gather_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
-        for (out_flat, slot) in data.iter_mut().enumerate().take(total) {
+        for (out_flat, slot) in out.iter_mut().enumerate() {
             let mut rem = out_flat;
             let mut in_flat = 0usize;
             for k in 0..r {
@@ -231,10 +281,7 @@ impl Tensor {
             }
             *slot = self.data[in_flat];
         }
-        Tensor {
-            shape: out_shape,
-            data,
-        }
+        out_shape
     }
 
     /// Outer (tensor) product: shapes concatenate.
@@ -261,6 +308,20 @@ impl Tensor {
     /// Panics if the axis lists have different lengths, reference
     /// out-of-range axes, repeat an axis, or pair axes of unequal size.
     pub fn contract(&self, other: &Tensor, axes_a: &[usize], axes_b: &[usize]) -> Tensor {
+        let out_len = self.contract_len(other, axes_a, axes_b);
+        let mut data = vec![Complex64::ZERO; out_len];
+        let shape = self.contract_into(other, axes_a, axes_b, &mut data);
+        Tensor { shape, data }
+    }
+
+    /// Number of elements in the result of
+    /// `self.contract(other, axes_a, axes_b)` — the length
+    /// [`Tensor::contract_into`]'s output slice must have.
+    ///
+    /// # Panics
+    ///
+    /// As [`Tensor::contract`].
+    pub fn contract_len(&self, other: &Tensor, axes_a: &[usize], axes_b: &[usize]) -> usize {
         assert_eq!(
             axes_a.len(),
             axes_b.len(),
@@ -274,33 +335,71 @@ impl Tensor {
                 "contracted axes have unequal sizes"
             );
         }
+        let k: usize = axes_a.iter().map(|&i| self.shape[i]).product();
+        self.len() / k.max(1) * (other.len() / k.max(1))
+    }
+
+    /// As [`Tensor::contract`], but writes the result's row-major
+    /// buffer into `out` (fully overwritten) and returns its shape.
+    ///
+    /// When an operand's contracted axes already sit where the matmul
+    /// needs them (trailing on the lhs, leading on the rhs, in order)
+    /// the permuted copy is elided entirely and the operand's buffer is
+    /// used as-is; otherwise a permuted scratch copy is still allocated
+    /// internally. The fully allocation-free path is a compiled
+    /// `qns-tnet` plan, which precomputes gather tables per step.
+    ///
+    /// Bit-identical to [`Tensor::contract`] by construction.
+    ///
+    /// # Panics
+    ///
+    /// As [`Tensor::contract`], or if `out.len()` differs from
+    /// [`Tensor::contract_len`].
+    pub fn contract_into(
+        &self,
+        other: &Tensor,
+        axes_a: &[usize],
+        axes_b: &[usize],
+        out: &mut [Complex64],
+    ) -> Vec<usize> {
+        let expect = self.contract_len(other, axes_a, axes_b);
+        assert_eq!(out.len(), expect, "contract output length mismatch");
+
         // Free axes, preserving order.
         let free_a: Vec<usize> = (0..self.rank()).filter(|i| !axes_a.contains(i)).collect();
         let free_b: Vec<usize> = (0..other.rank()).filter(|i| !axes_b.contains(i)).collect();
 
-        // Permute so contracted axes are trailing on lhs, leading on rhs.
+        // Permute so contracted axes are trailing on lhs, leading on
+        // rhs — skipping the copy when a permutation is the identity.
         let mut perm_a = free_a.clone();
         perm_a.extend_from_slice(axes_a);
         let mut perm_b = axes_b.to_vec();
         perm_b.extend_from_slice(&free_b);
 
-        let pa = self.permute(&perm_a);
-        let pb = other.permute(&perm_b);
+        let identity = |perm: &[usize]| perm.iter().enumerate().all(|(i, &p)| i == p);
+        let pa: Cow<'_, [Complex64]> = if identity(&perm_a) {
+            Cow::Borrowed(&self.data)
+        } else {
+            let mut buf = vec![Complex64::ZERO; self.data.len()];
+            self.permute_into(&perm_a, &mut buf);
+            Cow::Owned(buf)
+        };
+        let pb: Cow<'_, [Complex64]> = if identity(&perm_b) {
+            Cow::Borrowed(&other.data)
+        } else {
+            let mut buf = vec![Complex64::ZERO; other.data.len()];
+            other.permute_into(&perm_b, &mut buf);
+            Cow::Owned(buf)
+        };
 
         let m: usize = free_a.iter().map(|&i| self.shape[i]).product();
         let k: usize = axes_a.iter().map(|&i| self.shape[i]).product();
         let n: usize = free_b.iter().map(|&i| other.shape[i]).product();
-
-        let ma = Matrix::from_vec(m.max(1), k.max(1), pa.data);
-        let mb = Matrix::from_vec(k.max(1), n.max(1), pb.data);
-        let mc = ma.matmul(&mb);
+        qns_linalg::kernels::matmul_into(&pa, &pb, out, m.max(1), k.max(1), n.max(1));
 
         let mut out_shape: Vec<usize> = free_a.iter().map(|&i| self.shape[i]).collect();
         out_shape.extend(free_b.iter().map(|&i| other.shape[i]));
-        Tensor {
-            shape: out_shape,
-            data: mc.into_vec(),
-        }
+        out_shape
     }
 
     /// Frobenius norm of the tensor viewed as a flat vector.
@@ -496,6 +595,75 @@ mod tests {
     fn bad_permutation_panics() {
         let t = Tensor::zeros(vec![2, 2]);
         let _ = t.permute(&[0, 0]);
+    }
+
+    #[test]
+    fn into_reshaped_matches_reshape() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let t = random_tensor(&mut rng, vec![2, 6]);
+        let by_ref = t.reshape(vec![4, 3]);
+        let by_move = t.clone().into_reshaped(vec![4, 3]);
+        assert_eq!(by_ref, by_move);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape element count mismatch")]
+    fn into_reshaped_rejects_wrong_size() {
+        let t = Tensor::zeros(vec![2, 3]);
+        let _ = t.into_reshaped(vec![7]);
+    }
+
+    #[test]
+    fn copy_from_overwrites_without_shape_change() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let src = random_tensor(&mut rng, vec![2, 2]);
+        let mut dst = Tensor::zeros(vec![2, 2]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from shape mismatch")]
+    fn copy_from_rejects_shape_mismatch() {
+        let mut dst = Tensor::zeros(vec![2, 2]);
+        dst.copy_from(&Tensor::zeros(vec![4]));
+    }
+
+    #[test]
+    fn permute_into_bit_identical_to_permute() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let t = random_tensor(&mut rng, vec![2, 3, 4]);
+        for perm in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0], [2, 1, 0]] {
+            let reference = t.permute(&perm);
+            let mut out = vec![cr(5.0); t.len()]; // dirty output
+            let shape = t.permute_into(&perm, &mut out);
+            assert_eq!(shape, reference.shape());
+            assert_eq!(out.as_slice(), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn contract_into_bit_identical_to_contract() {
+        let mut rng = StdRng::seed_from_u64(24);
+        // Cases covering identity-elided lhs/rhs permutations and
+        // genuinely permuted ones: (shape_a, shape_b, axes_a, axes_b).
+        type Case = (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>);
+        let cases: Vec<Case> = vec![
+            (vec![3, 4], vec![4, 5], vec![1], vec![0]), // both elided
+            (vec![4, 3], vec![4, 5], vec![0], vec![0]), // lhs permuted
+            (vec![3, 4], vec![5, 4], vec![1], vec![1]), // rhs permuted
+            (vec![2, 3, 2], vec![2, 2, 3], vec![0, 1], vec![1, 2]), // both
+            (vec![2, 2], vec![3], vec![], vec![]),      // outer product
+        ];
+        for (sa, sb, axes_a, axes_b) in cases {
+            let a = random_tensor(&mut rng, sa);
+            let b = random_tensor(&mut rng, sb);
+            let reference = a.contract(&b, &axes_a, &axes_b);
+            let mut out = vec![cr(7.0); a.contract_len(&b, &axes_a, &axes_b)];
+            let shape = a.contract_into(&b, &axes_a, &axes_b, &mut out);
+            assert_eq!(shape, reference.shape());
+            assert_eq!(out.as_slice(), reference.as_slice());
+        }
     }
 
     #[test]

@@ -203,7 +203,7 @@ fn amplitude_network_impl(
                 let n1 = net.fresh_leg();
                 // 4×4 matrix [r, c] with r = o0·2+o1, c = i0·2+i1
                 // reshapes to axes [o0, o1, i0, i1].
-                let t = Tensor::from_matrix(&m).reshape(vec![2, 2, 2, 2]);
+                let t = Tensor::from_matrix(&m).into_reshaped(vec![2, 2, 2, 2]);
                 net.add(t, vec![n0, n1, cur[q0], cur[q1]]);
                 cur[q0] = n0;
                 cur[q1] = n1;
@@ -305,6 +305,19 @@ impl AmplitudeSkeleton {
     /// Panics if `i` is out of range or the tensor is not 2×2.
     pub fn set_insertion_tensor(&mut self, i: usize, t: Tensor) {
         self.net.set_tensor(self.insertion_nodes[i], t);
+    }
+
+    /// As [`AmplitudeSkeleton::set_insertion_tensor`], but copies the
+    /// payload into the existing node buffer instead of replacing it —
+    /// **zero heap allocations**, the per-pattern swap the pattern
+    /// sum's hot loop uses. The tensor is installed verbatim (no
+    /// conjugation, as with `set_insertion_tensor`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the shape is not the slot's.
+    pub fn set_insertion_payload(&mut self, i: usize, t: &Tensor) {
+        self.net.copy_tensor_from(self.insertion_nodes[i], t);
     }
 
     /// Number of substitution slots.
@@ -416,14 +429,14 @@ fn double_network_impl(
                 let (q0, q1) = (op.qubits[0], op.qubits[1]);
                 let (u0, u1) = (net.fresh_leg(), net.fresh_leg());
                 net.add(
-                    Tensor::from_matrix(&m).reshape(vec![2, 2, 2, 2]),
+                    Tensor::from_matrix(&m).into_reshaped(vec![2, 2, 2, 2]),
                     vec![u0, u1, upper[q0], upper[q1]],
                 );
                 upper[q0] = u0;
                 upper[q1] = u1;
                 let (l0, l1) = (net.fresh_leg(), net.fresh_leg());
                 net.add(
-                    Tensor::from_matrix(&m.conj()).reshape(vec![2, 2, 2, 2]),
+                    Tensor::from_matrix(&m.conj()).into_reshaped(vec![2, 2, 2, 2]),
                     vec![l0, l1, lower[q0], lower[q1]],
                 );
                 lower[q0] = l0;
@@ -509,6 +522,20 @@ impl DoubleSkeleton {
         self.net.set_tensor(lo, Tensor::from_matrix(b));
     }
 
+    /// As [`DoubleSkeleton::set_replacement`], but copies pre-built
+    /// payload tensors into the existing node buffers — **zero heap
+    /// allocations**, for callers that resolve their replacement
+    /// tensors once and swap them per pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range or a shape is not 2×2.
+    pub fn set_replacement_payload(&mut self, key: usize, a: &Tensor, b: &Tensor) {
+        let (up, lo) = self.replacement_nodes[key];
+        self.net.copy_tensor_from(up, a);
+        self.net.copy_tensor_from(lo, b);
+    }
+
     /// Number of replacement slots (the circuit's noise-event count).
     pub fn replacement_count(&self) -> usize {
         self.replacement_nodes.len()
@@ -552,7 +579,7 @@ fn add_noise_tensor(
             // M_E is 4×4 with row (i1,i2), col (j1,j2): reshape to
             // [i1, i2, j1, j2] = [upper out, lower out, upper in, lower in].
             let m = kraus.superoperator();
-            let t = Tensor::from_matrix(&m).reshape(vec![2, 2, 2, 2]);
+            let t = Tensor::from_matrix(&m).into_reshaped(vec![2, 2, 2, 2]);
             let nu = net.fresh_leg();
             let nl = net.fresh_leg();
             net.add(t, vec![nu, nl, upper[q], lower[q]]);

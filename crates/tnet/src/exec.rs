@@ -1,0 +1,698 @@
+//! Compiled, zero-allocation plan execution.
+//!
+//! A [`crate::plan::ContractionPlan`] records *what* to contract; an
+//! [`ExecutablePlan`] records *how*, down to the last byte: at compile
+//! time (shapes are fixed per skeleton) every pair contraction is
+//! lowered to an exec step carrying
+//!
+//! * the matmul dimensions `m × k × n`,
+//! * the operand permutations, with **identity elision** (when the
+//!   contracted axes already sit trailing on the lhs / leading on the
+//!   rhs, no data movement happens at all) and, for the lhs, a fused
+//!   gather: instead of materializing the permuted copy, the micro
+//!   kernel reads `a[row_off[i] + col_off[k]]` through tables
+//!   precomputed here (a contraction permutation always splits the
+//!   axes into a free group and a contracted group, so the permuted
+//!   flat index factorizes),
+//! * an exact slot-buffer layout inside a shared arena, computed by a
+//!   compile-time free-list allocator that recycles the regions of
+//!   consumed intermediates.
+//!
+//! Execution then threads a [`Workspace`] — one per worker thread,
+//! sized once from the plan — through the whole pattern sum: after the
+//! first execution has grown the workspace buffers, replaying the plan
+//! performs **zero heap allocations per pattern**. The
+//! [`Workspace::allocation_events`] counter makes that invariant
+//! observable (and is asserted in CI by `contract_bench --smoke`).
+//!
+//! Results are bit-identical to the allocating reference path
+//! ([`crate::plan::ContractionPlan::execute_reference`]): the micro
+//! kernels in [`qns_linalg::kernels`] keep the reference accumulation
+//! order, and elided/fused permutations move the same values.
+
+use crate::network::{ContractionStats, TensorNetwork};
+use crate::plan::ContractionPlan;
+use qns_linalg::kernels::{matmul_gather_lhs_into, matmul_into};
+use qns_linalg::Complex64;
+use qns_tensor::Tensor;
+
+/// Where a slot's buffer lives during execution.
+#[derive(Clone, Copy, Debug)]
+enum SlotLoc {
+    /// The `i`-th input tensor, borrowed from the caller.
+    Input(usize),
+    /// A region of the workspace arena.
+    Arena { offset: usize, len: usize },
+}
+
+/// Precomputed gather tables: `element(r, c) = src[row[r] + col[c]]`.
+#[derive(Clone, Debug)]
+struct Gather {
+    row: Vec<usize>,
+    col: Vec<usize>,
+}
+
+/// One lowered pair contraction.
+#[derive(Clone, Debug)]
+struct ExecStep {
+    lhs: SlotLoc,
+    rhs: SlotLoc,
+    /// Arena offset of the `m × n` result.
+    dst_offset: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    /// `Some` when the lhs needs permuting: the gather is fused into
+    /// the matmul (no materialized copy). `None` = contracted axes
+    /// already trailing, buffer used as-is.
+    lhs_gather: Option<Gather>,
+    /// `Some` when the rhs needs permuting: materialized into the
+    /// workspace scratch with a two-level offset copy (no div/mod).
+    /// `None` = contracted axes already leading, buffer used as-is.
+    rhs_gather: Option<Gather>,
+}
+
+/// A [`ContractionPlan`] lowered to executable kernels; created by
+/// [`ContractionPlan::compile`]. Immutable and shareable across worker
+/// threads — all mutable state lives in the per-thread [`Workspace`].
+#[derive(Clone, Debug)]
+pub struct ExecutablePlan {
+    n_inputs: usize,
+    input_lens: Vec<usize>,
+    steps: Vec<ExecStep>,
+    /// Location of the final tensor before the output permutation.
+    result: SlotLoc,
+    result_len: usize,
+    /// Shape of the executed result (after the output permutation).
+    output_shape: Vec<usize>,
+    /// `out[i] = result[out_gather[i]]`; `None` = already in order.
+    out_gather: Option<Vec<usize>>,
+    arena_len: usize,
+    scratch_len: usize,
+    replay_stats: ContractionStats,
+}
+
+/// Per-thread scratch memory for [`ExecutablePlan`] execution: the
+/// intermediate-slot arena, the rhs-permutation scratch and the output
+/// buffer. Grown on first use (or by [`Workspace::for_plan`]) and
+/// reused verbatim afterwards; buffers are never shrunk, so one
+/// workspace can serve several plans (e.g. the two split halves of the
+/// pattern sum) at the maximum of their footprints.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    arena: Vec<Complex64>,
+    scratch: Vec<Complex64>,
+    out: Vec<Complex64>,
+    allocation_events: u64,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first execution.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// A workspace pre-sized for `plan` (the first execution then
+    /// performs no allocations at all).
+    pub fn for_plan(plan: &ExecutablePlan) -> Self {
+        let mut ws = Workspace::new();
+        ws.ensure(plan);
+        ws
+    }
+
+    /// Number of buffer-growth events since construction. Steady-state
+    /// replay allocates nothing: after the first execution of the
+    /// largest plan this counter stops moving — the zero-allocation
+    /// invariant benchmarks and CI assert.
+    pub fn allocation_events(&self) -> u64 {
+        self.allocation_events
+    }
+
+    /// Total elements currently held across all buffers.
+    pub fn capacity(&self) -> usize {
+        self.arena.len() + self.scratch.len() + self.out.len()
+    }
+
+    /// Grows any undersized buffer to `plan`'s footprint.
+    fn ensure(&mut self, plan: &ExecutablePlan) {
+        for (buf, need) in [
+            (&mut self.arena, plan.arena_len),
+            (&mut self.scratch, plan.scratch_len),
+            (&mut self.out, plan.result_len.max(1)),
+        ] {
+            if buf.len() < need {
+                buf.resize(need, Complex64::ZERO);
+                self.allocation_events += 1;
+            }
+        }
+    }
+}
+
+/// Compile-time free-list allocator laying out intermediate slots in
+/// one arena. Regions of consumed slots are recycled (first-fit,
+/// coalescing), so the arena's high-water mark — not the sum of all
+/// intermediate sizes — bounds workspace memory.
+#[derive(Debug, Default)]
+struct RegionAlloc {
+    /// Free regions `(offset, len)`, sorted by offset, coalesced.
+    free: Vec<(usize, usize)>,
+    high: usize,
+}
+
+impl RegionAlloc {
+    fn alloc(&mut self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        if let Some(i) = self.free.iter().position(|&(_, flen)| flen >= len) {
+            let (off, flen) = self.free[i];
+            if flen == len {
+                self.free.remove(i);
+            } else {
+                self.free[i] = (off + len, flen - len);
+            }
+            return off;
+        }
+        let off = self.high;
+        self.high += len;
+        off
+    }
+
+    fn release(&mut self, offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let i = self
+            .free
+            .iter()
+            .position(|&(off, _)| off > offset)
+            .unwrap_or(self.free.len());
+        self.free.insert(i, (offset, len));
+        // Coalesce with the successor, then the predecessor.
+        if i + 1 < self.free.len() && self.free[i].0 + self.free[i].1 == self.free[i + 1].0 {
+            self.free[i].1 += self.free[i + 1].1;
+            self.free.remove(i + 1);
+        }
+        if i > 0 && self.free[i - 1].0 + self.free[i - 1].1 == self.free[i].0 {
+            self.free[i - 1].1 += self.free[i].1;
+            self.free.remove(i);
+        }
+    }
+}
+
+/// Row-major strides of a shape.
+fn strides_of(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Flat source offsets of every row-major index combination over
+/// `axes` of a tensor with the given `strides` — one half of a
+/// factorized permutation.
+fn offset_table(shape: &[usize], strides: &[usize], axes: &[usize]) -> Vec<usize> {
+    let dims: Vec<usize> = axes.iter().map(|&a| shape[a]).collect();
+    let total: usize = dims.iter().product();
+    let mut table = Vec::with_capacity(total);
+    let mut coords = vec![0usize; axes.len()];
+    for _ in 0..total {
+        table.push(coords.iter().zip(axes).map(|(&c, &a)| c * strides[a]).sum());
+        for t in (0..axes.len()).rev() {
+            coords[t] += 1;
+            if coords[t] < dims[t] {
+                break;
+            }
+            coords[t] = 0;
+        }
+    }
+    table
+}
+
+fn is_identity(perm: impl Iterator<Item = usize>) -> bool {
+    perm.enumerate().all(|(i, p)| i == p)
+}
+
+impl ExecutablePlan {
+    /// Lowers `plan` — see [`ContractionPlan::compile`].
+    pub(crate) fn lower(plan: &ContractionPlan) -> ExecutablePlan {
+        let n_inputs = plan.n_inputs();
+        let input_shapes = plan.input_shapes();
+        let mut slot_locs: Vec<SlotLoc> = (0..n_inputs).map(SlotLoc::Input).collect();
+        let mut slot_shapes: Vec<Vec<usize>> = input_shapes.to_vec();
+        let mut arena = RegionAlloc::default();
+        let mut scratch_len = 0usize;
+        let mut steps = Vec::with_capacity(plan.steps().len());
+
+        for step in plan.steps() {
+            let sa = slot_shapes[step.lhs].clone();
+            let sb = slot_shapes[step.rhs].clone();
+            let free_a: Vec<usize> = (0..sa.len())
+                .filter(|i| !step.axes_lhs.contains(i))
+                .collect();
+            let free_b: Vec<usize> = (0..sb.len())
+                .filter(|i| !step.axes_rhs.contains(i))
+                .collect();
+            let m: usize = free_a.iter().map(|&i| sa[i]).product();
+            let k: usize = step.axes_lhs.iter().map(|&i| sa[i]).product();
+            let n: usize = free_b.iter().map(|&i| sb[i]).product();
+
+            // Permutations bringing contracted axes trailing (lhs) /
+            // leading (rhs), elided when already in place.
+            let strides_a = strides_of(&sa);
+            let strides_b = strides_of(&sb);
+            let lhs_gather = if is_identity(free_a.iter().chain(step.axes_lhs.iter()).copied()) {
+                None
+            } else {
+                Some(Gather {
+                    row: offset_table(&sa, &strides_a, &free_a),
+                    col: offset_table(&sa, &strides_a, &step.axes_lhs),
+                })
+            };
+            let rhs_gather = if is_identity(step.axes_rhs.iter().chain(free_b.iter()).copied()) {
+                None
+            } else {
+                scratch_len = scratch_len.max(k * n);
+                Some(Gather {
+                    row: offset_table(&sb, &strides_b, &step.axes_rhs),
+                    col: offset_table(&sb, &strides_b, &free_b),
+                })
+            };
+
+            let dst_len = m * n;
+            // Allocate the destination while both operands are still
+            // live so it can never overlap them, then recycle theirs.
+            let dst_offset = arena.alloc(dst_len);
+            for &s in [step.lhs, step.rhs].iter() {
+                if let SlotLoc::Arena { offset, len } = slot_locs[s] {
+                    arena.release(offset, len);
+                }
+            }
+            steps.push(ExecStep {
+                lhs: slot_locs[step.lhs],
+                rhs: slot_locs[step.rhs],
+                dst_offset,
+                m,
+                k,
+                n,
+                lhs_gather,
+                rhs_gather,
+            });
+            slot_locs.push(SlotLoc::Arena {
+                offset: dst_offset,
+                len: dst_len,
+            });
+            let mut shape: Vec<usize> = free_a.iter().map(|&i| sa[i]).collect();
+            shape.extend(free_b.iter().map(|&i| sb[i]));
+            slot_shapes.push(shape);
+        }
+
+        let (result, result_shape) = match slot_locs.last() {
+            Some(&loc) if n_inputs > 0 => (loc, slot_shapes.last().expect("slot shape").clone()),
+            // Empty plan: the scalar 1 is synthesized at run time.
+            _ => (SlotLoc::Arena { offset: 0, len: 0 }, Vec::new()),
+        };
+        let result_len: usize = result_shape.iter().product();
+
+        let (output_shape, out_gather) = match plan.output_perm() {
+            Some(perm) => {
+                let out_shape: Vec<usize> = perm.iter().map(|&p| result_shape[p]).collect();
+                // Row-major walk over the output axes, offsets through
+                // the un-permuted result's strides — the same
+                // factorized-permutation table as the operand gathers.
+                let table = offset_table(&result_shape, &strides_of(&result_shape), perm);
+                (out_shape, Some(table))
+            }
+            None => (result_shape, None),
+        };
+
+        let mut replay_stats = plan.replay_stats();
+        replay_stats.plan_reuses = 1;
+        ExecutablePlan {
+            n_inputs,
+            input_lens: input_shapes.iter().map(|s| s.iter().product()).collect(),
+            steps,
+            result,
+            result_len,
+            output_shape,
+            out_gather,
+            arena_len: arena.high,
+            scratch_len,
+            replay_stats,
+        }
+    }
+
+    /// Number of input tensors the plan expects.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Shape of the executed result (axes in ascending open-leg
+    /// order, like the planning network's [`TensorNetwork`] output).
+    pub fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+
+    /// Elements of workspace memory one execution needs (arena +
+    /// scratch + output).
+    pub fn workspace_len(&self) -> usize {
+        self.arena_len + self.scratch_len + self.result_len.max(1)
+    }
+
+    /// The statistics of one replay: same counters as the reference
+    /// path's per-execution stats (`plan_reuses = 1`,
+    /// `order_searches = 0`). Absorb into a run's aggregate per
+    /// execution.
+    pub fn replay_stats(&self) -> ContractionStats {
+        self.replay_stats
+    }
+
+    /// Executes against borrowed input tensors (one per original node,
+    /// in node order, with the planned shapes), returning the result's
+    /// row-major buffer inside `ws`. Zero heap allocations once `ws`
+    /// has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count or a buffer length disagrees with the
+    /// plan.
+    pub fn execute_into<'w>(&self, inputs: &[&Tensor], ws: &'w mut Workspace) -> &'w [Complex64] {
+        assert_eq!(
+            inputs.len(),
+            self.n_inputs,
+            "plan expects {} input tensors, got {}",
+            self.n_inputs,
+            inputs.len()
+        );
+        self.run(|i| inputs[i].as_slice(), ws)
+    }
+
+    /// Executes against the tensors currently held by `net` (same node
+    /// count and shapes as the planning network) — the
+    /// swap-payloads-and-replay entry point of the pattern sum.
+    ///
+    /// # Panics
+    ///
+    /// As [`ExecutablePlan::execute_into`].
+    pub fn execute_network_into<'w>(
+        &self,
+        net: &TensorNetwork,
+        ws: &'w mut Workspace,
+    ) -> &'w [Complex64] {
+        assert_eq!(
+            net.node_count(),
+            self.n_inputs,
+            "plan expects {} input tensors, got {}",
+            self.n_inputs,
+            net.node_count()
+        );
+        self.run(|i| net.node_tensor(i).as_slice(), ws)
+    }
+
+    /// [`ExecutablePlan::execute_network_into`] for fully contracted
+    /// (rank-0) plans, returning the scalar directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's output is not rank 0.
+    pub fn execute_network_scalar(&self, net: &TensorNetwork, ws: &mut Workspace) -> Complex64 {
+        assert!(
+            self.output_shape.is_empty(),
+            "execute_network_scalar requires a rank-0 output"
+        );
+        self.execute_network_into(net, ws)[0]
+    }
+
+    fn run<'w, 'i>(
+        &self,
+        input: impl Fn(usize) -> &'i [Complex64],
+        ws: &'w mut Workspace,
+    ) -> &'w [Complex64] {
+        ws.ensure(self);
+        let Workspace {
+            arena,
+            scratch,
+            out,
+            allocation_events: _,
+        } = ws;
+        if self.n_inputs == 0 {
+            out[0] = Complex64::ONE;
+            return &out[..1];
+        }
+        let checked_input = |i: usize| -> &'i [Complex64] {
+            let s = input(i);
+            assert_eq!(s.len(), self.input_lens[i], "input tensor {i} length");
+            s
+        };
+
+        for step in &self.steps {
+            // Materialize the permuted rhs into scratch (factorized
+            // two-level offset copy; no div/mod) when it isn't already
+            // in k-leading order.
+            if let Some(g) = &step.rhs_gather {
+                let src: &[Complex64] = match step.rhs {
+                    SlotLoc::Input(i) => checked_input(i),
+                    SlotLoc::Arena { offset, len } => &arena[offset..offset + len],
+                };
+                let dst = &mut scratch[..step.k * step.n];
+                for (r, &ro) in g.row.iter().enumerate() {
+                    let drow = &mut dst[r * step.n..(r + 1) * step.n];
+                    for (d, &co) in drow.iter_mut().zip(&g.col) {
+                        *d = src[ro + co];
+                    }
+                }
+            }
+
+            // Split the arena into the disjoint shared/mutable regions
+            // this step touches, then run the micro kernel.
+            let lhs_region = match step.lhs {
+                SlotLoc::Arena { offset, len } => Some((offset, len)),
+                SlotLoc::Input(_) => None,
+            };
+            let rhs_region = match (step.rhs_gather.is_some(), step.rhs) {
+                (false, SlotLoc::Arena { offset, len }) => Some((offset, len)),
+                _ => None, // input, or already materialized in scratch
+            };
+            let (lhs_arena, rhs_arena, dst) = split3(
+                arena,
+                lhs_region,
+                rhs_region,
+                (step.dst_offset, step.m * step.n),
+            );
+            let a = match step.lhs {
+                SlotLoc::Input(i) => checked_input(i),
+                SlotLoc::Arena { .. } => lhs_arena.expect("lhs arena region"),
+            };
+            let b = if step.rhs_gather.is_some() {
+                &scratch[..step.k * step.n]
+            } else {
+                match step.rhs {
+                    SlotLoc::Input(i) => checked_input(i),
+                    SlotLoc::Arena { .. } => rhs_arena.expect("rhs arena region"),
+                }
+            };
+            match &step.lhs_gather {
+                None => matmul_into(a, b, dst, step.m, step.k, step.n),
+                Some(g) => matmul_gather_lhs_into(a, &g.row, &g.col, b, dst, step.n),
+            }
+        }
+
+        // Final stage: copy/gather the result into the output buffer
+        // (applying the open-leg output permutation when present).
+        let res: &[Complex64] = match self.result {
+            SlotLoc::Input(i) => checked_input(i),
+            SlotLoc::Arena { offset, len } => &arena[offset..offset + len],
+        };
+        let out = &mut out[..self.result_len];
+        match &self.out_gather {
+            Some(table) => {
+                for (o, &src_idx) in out.iter_mut().zip(table) {
+                    *o = res[src_idx];
+                }
+            }
+            None => out.copy_from_slice(res),
+        }
+        out
+    }
+}
+
+/// Borrows up to two shared regions and one mutable region out of one
+/// buffer. Regions must be pairwise disjoint (the compile-time
+/// allocator guarantees this: the destination is carved out while both
+/// operands are still live).
+#[allow(clippy::type_complexity)]
+fn split3<'a>(
+    buf: &'a mut [Complex64],
+    r1: Option<(usize, usize)>,
+    r2: Option<(usize, usize)>,
+    w: (usize, usize),
+) -> (
+    Option<&'a [Complex64]>,
+    Option<&'a [Complex64]>,
+    &'a mut [Complex64],
+) {
+    // Tagged regions, sorted by offset, carved off front to back.
+    let mut regions: [Option<(usize, usize, u8)>; 3] = [
+        r1.map(|(o, l)| (o, l, 0u8)),
+        r2.map(|(o, l)| (o, l, 1u8)),
+        Some((w.0, w.1, 2u8)),
+    ];
+    regions.sort_unstable_by_key(|r| r.map(|(o, _, _)| o).unwrap_or(usize::MAX));
+    let mut rest: &mut [Complex64] = buf;
+    let mut base = 0usize;
+    let mut got: [Option<&'a mut [Complex64]>; 3] = [None, None, None];
+    for r in regions.iter().flatten() {
+        let &(off, len, tag) = r;
+        assert!(off >= base, "exec plan regions overlap");
+        let tail = std::mem::take(&mut rest);
+        let (_, tail) = tail.split_at_mut(off - base);
+        let (this, tail) = tail.split_at_mut(len);
+        rest = tail;
+        base = off + len;
+        got[tag as usize] = Some(this);
+    }
+    let [g0, g1, g2] = got;
+    (
+        g0.map(|s| &*s),
+        g1.map(|s| &*s),
+        g2.expect("write region always present"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::OrderStrategy;
+    use qns_linalg::cr;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn rand_tensor(rng: &mut StdRng, shape: Vec<usize>) -> Tensor {
+        let len = shape.iter().product();
+        let data = (0..len)
+            .map(|_| qns_linalg::c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+            .collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    #[test]
+    fn region_alloc_recycles_and_coalesces() {
+        let mut ra = RegionAlloc::default();
+        let a = ra.alloc(10);
+        let b = ra.alloc(10);
+        let c = ra.alloc(10);
+        assert_eq!((a, b, c), (0, 10, 20));
+        ra.release(a, 10);
+        ra.release(c, 10);
+        // Freeing b coalesces everything back into one region.
+        ra.release(b, 10);
+        assert_eq!(ra.free, vec![(0, 30)]);
+        assert_eq!(ra.alloc(30), 0);
+        assert_eq!(ra.high, 30);
+    }
+
+    #[test]
+    fn region_alloc_first_fit_splits() {
+        let mut ra = RegionAlloc::default();
+        let a = ra.alloc(8);
+        let _b = ra.alloc(4);
+        ra.release(a, 8);
+        // 6 fits inside the freed 8-region, leaving (6, 2) free.
+        assert_eq!(ra.alloc(6), 0);
+        assert_eq!(ra.free, vec![(6, 2)]);
+    }
+
+    #[test]
+    fn chain_matches_reference_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = rand_tensor(&mut rng, vec![2, 3]);
+        let b = rand_tensor(&mut rng, vec![3, 4]);
+        let c = rand_tensor(&mut rng, vec![4, 2]);
+        let mut net = TensorNetwork::new();
+        let (l0, l1, l2, l3) = (
+            net.fresh_leg(),
+            net.fresh_leg(),
+            net.fresh_leg(),
+            net.fresh_leg(),
+        );
+        net.add(a, vec![l0, l1]);
+        net.add(b, vec![l1, l2]);
+        net.add(c, vec![l2, l3]);
+        for strategy in [OrderStrategy::Greedy, OrderStrategy::Sequential] {
+            let plan = net.plan(strategy);
+            let exec = plan.compile();
+            let mut ws = Workspace::new();
+            let out = exec.execute_network_into(&net, &mut ws);
+            let (reference, _) = plan.execute_network_reference(&net);
+            assert_eq!(out, reference.as_slice(), "{strategy:?}");
+            assert_eq!(exec.output_shape(), reference.shape());
+        }
+    }
+
+    #[test]
+    fn workspace_stops_allocating_after_first_execution() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = TensorNetwork::new();
+        let (l0, l1, l2) = (net.fresh_leg(), net.fresh_leg(), net.fresh_leg());
+        net.add(rand_tensor(&mut rng, vec![2, 3]), vec![l0, l1]);
+        net.add(rand_tensor(&mut rng, vec![3, 2]), vec![l1, l2]);
+        net.add(rand_tensor(&mut rng, vec![2, 2]), vec![l2, l0]);
+        let exec = net.plan(OrderStrategy::Greedy).compile();
+        let mut ws = Workspace::new();
+        let _ = exec.execute_network_into(&net, &mut ws);
+        let warm = ws.allocation_events();
+        assert!(warm > 0, "first execution must size the buffers");
+        for _ in 0..10 {
+            let _ = exec.execute_network_into(&net, &mut ws);
+        }
+        assert_eq!(ws.allocation_events(), warm, "steady state allocates");
+    }
+
+    #[test]
+    fn for_plan_presizing_makes_first_run_allocation_free() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = TensorNetwork::new();
+        let (l0, l1) = (net.fresh_leg(), net.fresh_leg());
+        net.add(rand_tensor(&mut rng, vec![2, 3]), vec![l0, l1]);
+        net.add(rand_tensor(&mut rng, vec![3, 2]), vec![l1, l0]);
+        let exec = net.plan(OrderStrategy::Greedy).compile();
+        let mut ws = Workspace::for_plan(&exec);
+        let presize = ws.allocation_events();
+        let _ = exec.execute_network_into(&net, &mut ws);
+        assert_eq!(ws.allocation_events(), presize);
+    }
+
+    #[test]
+    fn empty_plan_executes_to_scalar_one() {
+        let net = TensorNetwork::new();
+        let exec = net.plan(OrderStrategy::Greedy).compile();
+        let mut ws = Workspace::new();
+        assert_eq!(exec.execute_network_scalar(&net, &mut ws), Complex64::ONE);
+    }
+
+    #[test]
+    fn single_node_output_permutation() {
+        let mut net = TensorNetwork::new();
+        let l_hi = net.fresh_leg();
+        let l_lo = net.fresh_leg();
+        let t = Tensor::from_vec(vec![cr(1.0), cr(2.0), cr(3.0), cr(4.0)], vec![2, 2]);
+        net.add(t.clone(), vec![l_lo, l_hi]);
+        let exec = net.plan(OrderStrategy::Greedy).compile();
+        let mut ws = Workspace::new();
+        let out = exec.execute_network_into(&net, &mut ws);
+        assert_eq!(out, t.permute(&[1, 0]).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "plan expects 2 input tensors")]
+    fn arity_mismatch_panics() {
+        let mut net = TensorNetwork::new();
+        let l = net.fresh_leg();
+        net.add(Tensor::zeros(vec![2]), vec![l]);
+        net.add(Tensor::zeros(vec![2]), vec![l]);
+        let exec = net.plan(OrderStrategy::Greedy).compile();
+        let mut ws = Workspace::new();
+        let _ = exec.execute_into(&[&Tensor::zeros(vec![2])], &mut ws);
+    }
+}

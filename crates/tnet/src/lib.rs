@@ -12,6 +12,11 @@
 //!   one network skeleton and replays it against fresh payloads, so a
 //!   topology contracted millions of times (the approximation
 //!   algorithm's pattern sum) searches exactly once.
+//! * [`exec`] — compiled plan execution: an [`exec::ExecutablePlan`]
+//!   lowers every planned step to precomputed kernels (matmul dims,
+//!   identity-elided/fused permutations, exact buffer layout) and
+//!   replays through a per-thread [`exec::Workspace`] with **zero
+//!   heap allocations per execution**.
 //! * [`builder`] — circuit-to-network translation: the single-side
 //!   amplitude network `⟨v|C|ψ⟩` and the paper's **double-size noisy
 //!   network** (Fig. 2) in which each noise channel appears as its
@@ -41,6 +46,7 @@
 //! ```
 
 pub mod builder;
+pub mod exec;
 pub mod network;
 pub mod plan;
 pub mod simulator;

@@ -168,6 +168,27 @@ impl TensorNetwork {
         self.nodes.iter().map(|(t, _)| t)
     }
 
+    /// The tensor of the `i`-th added node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ node_count()`.
+    pub fn node_tensor(&self, i: usize) -> &Tensor {
+        &self.nodes[i].0
+    }
+
+    /// Overwrites the payload buffer of node `id` in place from `src`
+    /// (same shape required) without reallocating — the
+    /// zero-allocation counterpart of [`TensorNetwork::set_tensor`]
+    /// used by the pattern sum's per-pattern payload swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs from the current tensor's.
+    pub fn copy_tensor_from(&mut self, id: NodeId, src: &Tensor) {
+        self.nodes[id.0].0.copy_from(src);
+    }
+
     /// Legs appearing on exactly one node (the network's outputs).
     pub fn open_legs(&self) -> Vec<LegId> {
         let mut open: Vec<LegId> = self

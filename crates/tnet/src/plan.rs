@@ -32,6 +32,7 @@
 //! assert_eq!(plan.execute_network(&net).0.scalar_value(), cr(39.0));
 //! ```
 
+use crate::exec::{ExecutablePlan, Workspace};
 use crate::network::{ContractionStats, LegId, OrderStrategy, TensorNetwork};
 use qns_linalg::Complex64;
 use qns_tensor::Tensor;
@@ -220,6 +221,32 @@ impl ContractionPlan {
         self.n_inputs
     }
 
+    /// The planned shape of every input slot, in node order.
+    pub(crate) fn input_shapes(&self) -> &[Vec<usize>] {
+        &self.input_shapes
+    }
+
+    /// The final output-axis permutation (`None` when already in
+    /// ascending open-leg order).
+    pub(crate) fn output_perm(&self) -> Option<&[usize]> {
+        self.output_perm.as_deref()
+    }
+
+    /// The shape-derived statistics of one replay (`plan_reuses` and
+    /// `order_searches` both zero; callers set them).
+    pub(crate) fn replay_stats(&self) -> ContractionStats {
+        self.replay_stats
+    }
+
+    /// Lowers the plan into an [`ExecutablePlan`]: precomputed matmul
+    /// dimensions, identity-elided/fused operand permutations with
+    /// gather tables, and an exact workspace layout, so replay through
+    /// a warmed [`Workspace`] performs **zero heap allocations per
+    /// execution**. Compile once per skeleton, right after planning.
+    pub fn compile(&self) -> ExecutablePlan {
+        ExecutablePlan::lower(self)
+    }
+
     /// The statistics of creating this plan: exactly one order search,
     /// no contractions. Absorb this into a run's aggregate stats at
     /// plan-creation time so search counts are derived from the plan
@@ -244,26 +271,69 @@ impl ContractionPlan {
     /// Replays the plan against `inputs` (one tensor per original node,
     /// in node order, with the planned shapes).
     ///
+    /// A thin allocating wrapper: compiles the plan, executes it
+    /// through a throwaway [`Workspace`] and copies the result out.
+    /// Callers replaying one plan many times should hold the
+    /// [`ExecutablePlan`] (and a reusable workspace) themselves —
+    /// that path is allocation-free per execution.
+    ///
     /// The returned [`ContractionStats`] carry `plan_reuses = 1` and
     /// `order_searches = 0`: no search happens here.
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the planned node count.
-    /// Shape agreement is only debug-asserted — replay is the hot path
-    /// and [`TensorNetwork::set_tensor`] already enforces shapes.
+    /// Shape agreement is only asserted on buffer lengths — replay is
+    /// the hot path and [`TensorNetwork::set_tensor`] already enforces
+    /// shapes.
     pub fn execute(&self, inputs: &[Tensor]) -> (Tensor, ContractionStats) {
-        self.execute_impl(inputs.iter().map(Cow::Borrowed).collect())
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let exec = self.compile();
+        let mut ws = Workspace::for_plan(&exec);
+        let out = exec.execute_into(&refs, &mut ws).to_vec();
+        (
+            Tensor::from_vec(out, exec.output_shape().to_vec()),
+            exec.replay_stats(),
+        )
     }
 
     /// Replays the plan against the tensors currently held by `net`
     /// (which must have the same node count and shapes it was planned
-    /// from — the swap-payloads-and-rerun entry point).
+    /// from). A thin allocating wrapper like [`ContractionPlan::execute`].
     ///
     /// # Panics
     ///
     /// Panics if `net`'s node count differs from the planned count.
     pub fn execute_network(&self, net: &TensorNetwork) -> (Tensor, ContractionStats) {
+        let exec = self.compile();
+        let mut ws = Workspace::for_plan(&exec);
+        let out = exec.execute_network_into(net, &mut ws).to_vec();
+        (
+            Tensor::from_vec(out, exec.output_shape().to_vec()),
+            exec.replay_stats(),
+        )
+    }
+
+    /// The pre-kernel reference replay: chains [`Tensor::contract`] /
+    /// [`Tensor::permute`] per recorded step, allocating freely. Kept
+    /// as the oracle the compiled path is tested (and benchmarked)
+    /// against — [`ContractionPlan::execute`] must stay bit-identical
+    /// to it.
+    ///
+    /// # Panics
+    ///
+    /// As [`ContractionPlan::execute`].
+    pub fn execute_reference(&self, inputs: &[Tensor]) -> (Tensor, ContractionStats) {
+        self.execute_impl(inputs.iter().map(Cow::Borrowed).collect())
+    }
+
+    /// [`ContractionPlan::execute_reference`] against the tensors
+    /// currently held by `net`.
+    ///
+    /// # Panics
+    ///
+    /// As [`ContractionPlan::execute_network`].
+    pub fn execute_network_reference(&self, net: &TensorNetwork) -> (Tensor, ContractionStats) {
         self.execute_impl(net.node_tensors().map(Cow::Borrowed).collect())
     }
 

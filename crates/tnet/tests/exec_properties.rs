@@ -1,0 +1,169 @@
+//! Property tests of the compiled execution engine: an
+//! [`ExecutablePlan`] replayed through a [`Workspace`] must be
+//! **bit-identical** to the allocating reference path
+//! ([`ContractionPlan::execute_reference`], which chains
+//! `Tensor::contract`) on randomly shaped networks with random axis
+//! orders — including when one dirty workspace is reused across
+//! different payload sets back-to-back.
+
+use proptest::prelude::*;
+use qns_linalg::c64;
+use qns_tensor::Tensor;
+use qns_tnet::exec::Workspace;
+use qns_tnet::network::{OrderStrategy, TensorNetwork};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn rand_tensor(rng: &mut StdRng, shape: Vec<usize>) -> Tensor {
+    let len = shape.iter().product();
+    let data = (0..len)
+        .map(|_| c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Builds a random network: a spanning tree over `k` nodes with random
+/// bond dimensions, extra open legs, and per-node axis orders shuffled
+/// so operand permutations are genuinely exercised (not all elided).
+/// Returns the network and the per-node shapes (for payload swaps).
+fn random_network(rng: &mut StdRng, k: usize) -> (TensorNetwork, Vec<Vec<usize>>) {
+    let mut net = TensorNetwork::new();
+    // node → (legs, dims), assembled before tensors are added.
+    let mut node_legs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k];
+    for i in 1..k {
+        let j = rng.random_range(0..i);
+        let bond = net.fresh_leg();
+        let dim = rng.random_range(1..4usize);
+        node_legs[i].push((bond, dim));
+        node_legs[j].push((bond, dim));
+    }
+    for legs in node_legs.iter_mut() {
+        for _ in 0..rng.random_range(0..3usize) {
+            let open = net.fresh_leg();
+            legs.push((open, rng.random_range(1..3usize)));
+        }
+        if legs.is_empty() {
+            // Rank-0 nodes are unsupported by `TensorNetwork::add`'s
+            // callers here; give isolated nodes one open leg.
+            let open = net.fresh_leg();
+            legs.push((open, rng.random_range(1..3usize)));
+        }
+        // Fisher–Yates shuffle of the axis order.
+        for t in (1..legs.len()).rev() {
+            let s = rng.random_range(0..t + 1);
+            legs.swap(t, s);
+        }
+    }
+    let mut shapes = Vec::with_capacity(k);
+    for legs in &node_legs {
+        let shape: Vec<usize> = legs.iter().map(|&(_, d)| d).collect();
+        let ids: Vec<usize> = legs.iter().map(|&(l, _)| l).collect();
+        net.add(rand_tensor(rng, shape.clone()), ids);
+        shapes.push(shape);
+    }
+    (net, shapes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compiled execution is bit-identical to the reference
+    /// `Tensor::contract` replay on random skeletons, for both order
+    /// strategies — and so is the thin allocating wrapper.
+    #[test]
+    fn compiled_matches_reference_bitwise(seed in 0u64..5000, k in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (net, _) = random_network(&mut rng, k);
+        for strategy in [OrderStrategy::Greedy, OrderStrategy::Sequential] {
+            let plan = net.plan(strategy);
+            let (reference, _) = plan.execute_network_reference(&net);
+
+            let exec = plan.compile();
+            let mut ws = Workspace::new();
+            let out = exec.execute_network_into(&net, &mut ws);
+            prop_assert_eq!(exec.output_shape(), reference.shape(), "{:?}", strategy);
+            prop_assert_eq!(out, reference.as_slice(), "{:?}", strategy);
+
+            let (wrapped, _) = plan.execute_network(&net);
+            prop_assert_eq!(&wrapped, &reference, "{:?}", strategy);
+        }
+    }
+
+    /// One dirty workspace reused across two different payload sets
+    /// back-to-back reproduces each set's reference result bit for
+    /// bit, and stops allocating after the first execution.
+    #[test]
+    fn dirty_workspace_reuse_is_exact(seed in 0u64..5000, k in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1137);
+        let (mut net, shapes) = random_network(&mut rng, k);
+        let plan = net.plan(OrderStrategy::Greedy);
+        let exec = plan.compile();
+        let mut ws = Workspace::new();
+
+        // First payload set warms (and dirties) the workspace.
+        let first = exec.execute_network_into(&net, &mut ws).to_vec();
+        let (ref_first, _) = plan.execute_network_reference(&net);
+        prop_assert_eq!(first, ref_first.as_slice().to_vec());
+        let warm = ws.allocation_events();
+
+        // Swap every payload and replay through the same workspace.
+        for (i, shape) in shapes.iter().enumerate() {
+            net.set_tensor(net.node_id(i), rand_tensor(&mut rng, shape.clone()));
+        }
+        let second = exec.execute_network_into(&net, &mut ws).to_vec();
+        let (ref_second, _) = plan.execute_network_reference(&net);
+        prop_assert_eq!(second, ref_second.as_slice().to_vec());
+
+        // Steady state: the second execution allocated nothing.
+        prop_assert_eq!(ws.allocation_events(), warm);
+    }
+
+    /// A workspace serves the plans of *different* skeletons (as the
+    /// split evaluator's up/lo pair does) without cross-talk.
+    #[test]
+    fn one_workspace_across_two_plans(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCDE);
+        let (net_a, _) = random_network(&mut rng, 3);
+        let (net_b, _) = random_network(&mut rng, 4);
+        let exec_a = net_a.plan(OrderStrategy::Greedy).compile();
+        let exec_b = net_b.plan(OrderStrategy::Greedy).compile();
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let out_a = exec_a.execute_network_into(&net_a, &mut ws).to_vec();
+            let out_b = exec_b.execute_network_into(&net_b, &mut ws).to_vec();
+            let (ref_a, _) = net_a.plan(OrderStrategy::Greedy).execute_network_reference(&net_a);
+            let (ref_b, _) = net_b.plan(OrderStrategy::Greedy).execute_network_reference(&net_b);
+            prop_assert_eq!(out_a, ref_a.as_slice().to_vec());
+            prop_assert_eq!(out_b, ref_b.as_slice().to_vec());
+        }
+    }
+}
+
+/// Deterministic edge cases the random generator may not hit.
+#[test]
+fn edge_cases_match_reference() {
+    // Disconnected network: pure outer products.
+    let mut net = TensorNetwork::new();
+    let (l1, l2) = (net.fresh_leg(), net.fresh_leg());
+    let mut rng = StdRng::seed_from_u64(99);
+    net.add(rand_tensor(&mut rng, vec![3]), vec![l1]);
+    net.add(rand_tensor(&mut rng, vec![2]), vec![l2]);
+    let plan = net.plan(OrderStrategy::Greedy);
+    let exec = plan.compile();
+    let mut ws = Workspace::new();
+    let out = exec.execute_network_into(&net, &mut ws);
+    let (reference, _) = plan.execute_network_reference(&net);
+    assert_eq!(out, reference.as_slice());
+    assert_eq!(exec.output_shape(), reference.shape());
+
+    // Single node whose axes must be permuted into leg order.
+    let mut net = TensorNetwork::new();
+    let hi = net.fresh_leg();
+    let lo = net.fresh_leg();
+    net.add(rand_tensor(&mut rng, vec![2, 3]), vec![lo, hi]);
+    let plan = net.plan(OrderStrategy::Greedy);
+    let (reference, _) = plan.execute_network_reference(&net);
+    let exec = plan.compile();
+    let out = exec.execute_network_into(&net, &mut ws);
+    assert_eq!(out, reference.as_slice());
+}
