@@ -16,17 +16,31 @@
 //!   cargo run -p qns-bench --release --bin contract_bench -- \
 //!       [--smoke] [--patterns P] [--noises N] [--out PATH]
 //!
-//! Two invariants are *asserted* on every run (and gate CI via
+//! A second section replays a **minimal-change (Gray-ordered) level-2
+//! pattern sequence** — the pattern sum's real access pattern — through
+//! the full compiled path and through **delta replay**
+//! (`ExecutablePlan::execute_network_delta_scalar`: only the
+//! contraction-tree paths fed by changed payloads re-execute, every
+//! other intermediate is reused from the persistent workspace arena),
+//! and reports the per-pattern speedup under `"incremental"` in the
+//! JSON.
+//!
+//! Four invariants are *asserted* on every run (and gate CI via
 //! `--smoke`):
 //!
-//! 1. both paths produce **bit-identical** pattern sums, and
-//! 2. the workspace's allocation counter reads **0 after the first
-//!    pattern** — the zero-allocation steady state the compiled engine
-//!    guarantees.
+//! 1. reference and compiled paths produce **bit-identical** pattern
+//!    sums,
+//! 2. the compiled workspace's allocation counter reads **0 after the
+//!    first pattern**,
+//! 3. delta replay's pattern sum is **bit-identical** to the full
+//!    compiled replay of the same Gray sequence, and
+//! 4. the delta path's warmed timing pass performs **zero
+//!    allocations**.
 
 use qns_bench::registry::{default_set, smoke_set, BenchCircuit, Family};
 use qns_bench::timing::time_it;
 use qns_bench::{arg_flag, arg_usize, print_row};
+use qns_core::patterns::GrayPatternStream;
 use qns_core::NoiseSvd;
 use qns_linalg::{Complex64, Matrix};
 use qns_noise::{channels, NoisyCircuit};
@@ -157,6 +171,94 @@ fn run_compiled(w: &mut Workload, patterns: &[Vec<usize>]) -> (PathResult, u64) 
     (PathResult { sum, seconds }, steady_allocs)
 }
 
+/// The minimal-change pattern sequence of one approximation run:
+/// levels `0..=level` enumerated in Gray order, so consecutive
+/// patterns differ in at most two sites (three across a level
+/// boundary, since the per-level streams chain).
+fn gray_patterns(n_sites: usize, level: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut pat = vec![0usize; n_sites];
+    for u in 0..=level.min(n_sites) {
+        let mut stream = GrayPatternStream::new(n_sites, u);
+        while stream.next_into(&mut pat) {
+            out.push(pat.clone());
+        }
+    }
+    out
+}
+
+/// Mutable state of the delta path: the installed assignment plus one
+/// warm workspace per split half (cached intermediates belong to a
+/// single plan, so the halves must not share).
+struct DeltaState {
+    ws_up: Workspace,
+    ws_lo: Workspace,
+    current: Vec<usize>,
+    dirty_up: Vec<usize>,
+    dirty_lo: Vec<usize>,
+}
+
+impl DeltaState {
+    fn new(w: &Workload) -> Self {
+        DeltaState {
+            ws_up: Workspace::for_plan(&w.up_exec),
+            ws_lo: Workspace::for_plan(&w.lo_exec),
+            current: vec![usize::MAX; w.payloads.len()],
+            dirty_up: Vec::new(),
+            dirty_lo: Vec::new(),
+        }
+    }
+
+    fn allocation_events(&self) -> u64 {
+        self.ws_up.allocation_events() + self.ws_lo.allocation_events()
+    }
+}
+
+/// One pass of the delta path over a pattern sequence: diff each
+/// pattern against the installed assignment, swap only the changed
+/// payloads, delta-replay only the dirty leaf-to-root tree paths.
+/// Returns the timed result and the number of contraction steps
+/// actually executed.
+fn run_delta_pass(
+    w: &mut Workload,
+    st: &mut DeltaState,
+    patterns: &[Vec<usize>],
+) -> (PathResult, u64) {
+    let ((sum, steps), seconds) = time_it(|| {
+        let mut acc = Complex64::ZERO;
+        let mut steps = 0u64;
+        for pat in patterns {
+            st.dirty_up.clear();
+            st.dirty_lo.clear();
+            for (i, &term) in pat.iter().enumerate() {
+                if st.current[i] == term {
+                    continue;
+                }
+                let (u, v) = &w.payloads[i][term];
+                w.upper.set_insertion_payload(i, u);
+                w.lower.set_insertion_payload(i, v);
+                st.dirty_up.push(w.upper.insertion_slot(i));
+                st.dirty_lo.push(w.lower.insertion_slot(i));
+                st.current[i] = term;
+            }
+            let (up, s_up) = w.up_exec.execute_network_delta_scalar(
+                w.upper.network(),
+                &st.dirty_up,
+                &mut st.ws_up,
+            );
+            let (lo, s_lo) = w.lo_exec.execute_network_delta_scalar(
+                w.lower.network(),
+                &st.dirty_lo,
+                &mut st.ws_lo,
+            );
+            steps += (s_up.contractions + s_lo.contractions) as u64;
+            acc += up * lo;
+        }
+        (acc, steps)
+    });
+    (PathResult { sum, seconds }, steps)
+}
+
 fn main() {
     let smoke = arg_flag("--smoke");
     let patterns_per = arg_usize("--patterns", if smoke { 64 } else { 256 });
@@ -240,6 +342,92 @@ fn main() {
         .powf(1.0 / rows.len().max(1) as f64);
     println!("\ngeometric-mean speedup: {geomean:.2}x");
 
+    // ── Incremental (delta) vs full compiled replay ──
+    // The pattern sum's real access pattern: the Gray-ordered level-2
+    // sequence, where consecutive patterns differ in at most two
+    // sites. The full path re-executes every plan step per pattern;
+    // the delta path re-executes only the dirty leaf-to-root paths of
+    // the contraction tree and reuses every other cached intermediate.
+    let level = 2usize;
+    println!("\nincremental (Gray order, level {level}) vs full compiled replay\n");
+    let inc_widths = [14usize, 10, 14, 14, 9, 11, 11];
+    print_row(
+        &[
+            "workload".into(),
+            "patterns".into(),
+            "full µs/pat".into(),
+            "delta µs/pat".into(),
+            "speedup".into(),
+            "full steps".into(),
+            "delta steps".into(),
+        ],
+        &inc_widths,
+    );
+    let mut inc_rows = Vec::new();
+    for (i, bench) in set.iter().enumerate() {
+        let mut w = build_workload(bench, noises, 0xC047 + i as u64);
+        let pats = gray_patterns(w.payloads.len(), level);
+        let full_steps_per =
+            (w.up_exec.replay_stats().contractions + w.lo_exec.replay_stats().contractions) as f64;
+
+        // Full compiled baseline: warm once, then time the sequence.
+        let _ = run_compiled(&mut w, &pats[..1.min(pats.len())]);
+        let (full, _) = run_compiled(&mut w, &pats);
+
+        // Delta path: one untimed pass warms the node caches and sizes
+        // the dirty-step merge buffers; the timed pass must then be
+        // allocation-free.
+        let mut st = DeltaState::new(&w);
+        let _ = run_delta_pass(&mut w, &mut st, &pats);
+        let warm = st.allocation_events();
+        let (delta, delta_steps) = run_delta_pass(&mut w, &mut st, &pats);
+        let steady_allocs = st.allocation_events() - warm;
+
+        assert_eq!(
+            delta.sum, full.sum,
+            "{}: delta pattern sum must be bit-identical to full compiled replay",
+            w.name
+        );
+        assert_eq!(
+            steady_allocs, 0,
+            "{}: delta path allocated during the warmed timing pass",
+            w.name
+        );
+
+        let n_pats = pats.len() as f64;
+        let full_us = full.seconds * 1e6 / n_pats;
+        let delta_us = delta.seconds * 1e6 / n_pats;
+        let speedup = full.seconds / delta.seconds.max(1e-12);
+        let delta_steps_per = delta_steps as f64 / n_pats;
+        print_row(
+            &[
+                w.name.clone(),
+                pats.len().to_string(),
+                format!("{full_us:.1}"),
+                format!("{delta_us:.1}"),
+                format!("{speedup:.2}x"),
+                format!("{full_steps_per:.0}"),
+                format!("{delta_steps_per:.1}"),
+            ],
+            &inc_widths,
+        );
+        inc_rows.push((
+            w.name.clone(),
+            full_us,
+            delta_us,
+            speedup,
+            full_steps_per,
+            delta_steps_per,
+        ));
+    }
+    let inc_geomean = inc_rows
+        .iter()
+        .map(|(_, _, _, s, _, _)| s.ln())
+        .sum::<f64>()
+        .exp()
+        .powf(1.0 / inc_rows.len().max(1) as f64);
+    println!("\ngeometric-mean incremental speedup: {inc_geomean:.2}x");
+
     let mut per = String::new();
     for (i, (name, r, e, s)) in rows.iter().enumerate() {
         if i > 0 {
@@ -250,10 +438,24 @@ fn main() {
              \"exec_us_per_pattern\":{e:.2},\"speedup\":{s:.3}}}"
         ));
     }
+    let mut inc_per = String::new();
+    for (i, (name, f, d, s, fsteps, dsteps)) in inc_rows.iter().enumerate() {
+        if i > 0 {
+            inc_per.push(',');
+        }
+        inc_per.push_str(&format!(
+            "{{\"workload\":\"{name}\",\"full_us_per_pattern\":{f:.2},\
+             \"delta_us_per_pattern\":{d:.2},\"speedup\":{s:.3},\
+             \"full_steps_per_pattern\":{fsteps:.0},\
+             \"delta_steps_per_pattern\":{dsteps:.2}}}"
+        ));
+    }
     let json = format!(
         "{{\"mode\":\"{}\",\"patterns_per_workload\":{patterns_per},\
          \"noises\":{noises},\"steady_state_allocations\":0,\
-         \"geomean_speedup\":{geomean:.3},\"workloads\":[{per}]}}\n",
+         \"geomean_speedup\":{geomean:.3},\"workloads\":[{per}],\
+         \"incremental\":{{\"level\":{level},\"order\":\"gray\",\
+         \"geomean_speedup\":{inc_geomean:.3},\"workloads\":[{inc_per}]}}}}\n",
         if smoke { "smoke" } else { "default" },
     );
     let mut f = std::fs::File::create(&out).expect("create bench report");

@@ -43,21 +43,30 @@ pub fn one_level_error_estimate(n_noises: usize, p: f64) -> f64 {
     32.0 * std::f64::consts::E.sqrt() * (n_noises as f64).powi(2) * p * p
 }
 
-/// The number of tensor-network contractions performed by the
-/// level-`l` approximation: `2·Σ_{i=0..l} C(N,i)·3^i` (Theorem 1).
-pub fn contraction_count(n_noises: usize, level: usize) -> u128 {
-    let n = n_noises;
-    let l = level.min(n);
-    let mut total: u128 = 0;
-    for i in 0..=l {
-        // binomial in u128 (exact for the sizes we sweep)
-        let mut c: u128 = 1;
-        for j in 0..i {
-            c = c * (n - j) as u128 / (j + 1) as u128;
-        }
-        total += c * 3u128.pow(i as u32);
+/// The substitution-pattern count contributed by exactly `u` active
+/// sites out of `n_noises`: `C(N,u)·3^u`, the inner term of Theorem 1's
+/// sum. **Saturating**: past roughly `N = 81` at high `u` the exact
+/// value exceeds `u128`, and the only consumers are feasibility guards
+/// and cost models, for which `u128::MAX` ("infeasibly many") is the
+/// correct answer — never a panic (debug) or a silent tiny wrap
+/// (release). Returns 0 when `u > n_noises`.
+pub fn level_patterns(n_noises: usize, u: usize) -> u128 {
+    if u > n_noises {
+        return 0;
     }
-    2 * total
+    // Binomial in u128 — exact while it fits: multiply before dividing
+    // (the running product after the division is C(n, j+1), an
+    // integer). Checked so saturation is sticky rather than wrapping.
+    let mut c: u128 = 1;
+    for j in 0..u {
+        match c.checked_mul((n_noises - j) as u128) {
+            Some(v) => c = v / (j + 1) as u128,
+            None => return u128::MAX,
+        }
+    }
+    (0..u)
+        .try_fold(c, |acc, _| acc.checked_mul(3))
+        .unwrap_or(u128::MAX)
 }
 
 /// The substitution-pattern count a level-`l` run over `n_noises`
@@ -65,9 +74,19 @@ pub fn contraction_count(n_noises: usize, level: usize) -> u128 {
 /// [`contraction_count`], since every pattern contracts two
 /// single-size networks. This is the quantity the engine's `max_terms`
 /// budget guard and the routing cost model are both built on; keeping
-/// it in one place keeps them in agreement.
+/// it in one place keeps them in agreement. Saturating, like
+/// [`level_patterns`].
 pub fn planned_patterns(n_noises: usize, level: usize) -> u128 {
-    contraction_count(n_noises, level) / 2
+    (0..=level.min(n_noises)).fold(0u128, |acc, i| {
+        acc.saturating_add(level_patterns(n_noises, i))
+    })
+}
+
+/// The number of tensor-network contractions performed by the
+/// level-`l` approximation: `2·Σ_{i=0..l} C(N,i)·3^i` (Theorem 1).
+/// Saturating, like [`level_patterns`].
+pub fn contraction_count(n_noises: usize, level: usize) -> u128 {
+    planned_patterns(n_noises, level).saturating_mul(2)
 }
 
 /// The smallest level whose Theorem-1 bound meets `target_error`, or
@@ -180,6 +199,44 @@ mod tests {
             assert_eq!(planned_patterns(n, l), contraction_count(n, l) / 2);
         }
         assert_eq!(planned_patterns(10, 1), 1 + 3 * 10);
+    }
+
+    #[test]
+    fn level_patterns_matches_formula() {
+        assert_eq!(level_patterns(10, 0), 1);
+        assert_eq!(level_patterns(10, 1), 30);
+        assert_eq!(level_patterns(4, 2), 54); // C(4,2)·9
+        assert_eq!(level_patterns(3, 7), 0);
+        for n in [3usize, 6, 10] {
+            for u in 0..=n {
+                assert_eq!(
+                    level_patterns(n, u) as f64,
+                    binomial(n, u) * 3f64.powi(u as i32)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_runs_saturate_instead_of_overflowing() {
+        // Regression: N=200 at level=200 used to overflow u128 — a
+        // panic in debug, a silent wrap to a *small* count in release,
+        // which made the budget guard and the router mis-admit
+        // infeasible jobs. Now it saturates to "infeasibly many".
+        assert_eq!(planned_patterns(200, 200), u128::MAX);
+        assert_eq!(contraction_count(200, 200), u128::MAX);
+        assert_eq!(level_patterns(200, 150), u128::MAX);
+        // Monotonicity across the saturation boundary: a bigger run
+        // never reports fewer patterns.
+        let mut prev = 0u128;
+        for l in 0..=200 {
+            let p = planned_patterns(200, l);
+            assert!(p >= prev, "non-monotone at level {l}");
+            prev = p;
+        }
+        // Still exact where u128 suffices.
+        assert_eq!(planned_patterns(81, 0), 1);
+        assert!(planned_patterns(100, 1) < u128::MAX);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 pub mod approx;
 pub mod bounds;
 pub mod noise_svd;
+pub mod patterns;
 pub mod permutation;
 pub mod timing;
 
@@ -52,7 +53,10 @@ pub use approx::{
     try_approximate_expectation_unsplit, try_approximate_matrix_element, try_reconstruct_density,
     ApproxOptions, ApproxResult, AutoReport,
 };
-pub use bounds::{contraction_count, error_bound, level_recommendation, planned_patterns};
+pub use bounds::{
+    contraction_count, error_bound, level_patterns, level_recommendation, planned_patterns,
+};
 pub use noise_svd::NoiseSvd;
+pub use patterns::{GrayPatternStream, PatternStream};
 pub use permutation::tensor_permute;
 pub use qns_noise::QnsError;

@@ -325,6 +325,17 @@ impl AmplitudeSkeleton {
         self.insertion_nodes.len()
     }
 
+    /// The network node index (= plan input-slot index) holding
+    /// substitution slot `i` — what delta execution wants as the dirty
+    /// leaf after a [`AmplitudeSkeleton::set_insertion_payload`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn insertion_slot(&self, i: usize) -> usize {
+        self.insertion_nodes[i].0
+    }
+
     /// The underlying network (current payloads included) — pass to
     /// [`ContractionPlan::execute_network`].
     pub fn network(&self) -> &TensorNetwork {
@@ -539,6 +550,19 @@ impl DoubleSkeleton {
     /// Number of replacement slots (the circuit's noise-event count).
     pub fn replacement_count(&self) -> usize {
         self.replacement_nodes.len()
+    }
+
+    /// The network node indices (= plan input-slot indices) holding
+    /// replacement slot `key`'s upper- and lower-rail tensors — what
+    /// delta execution wants as the dirty leaves after a
+    /// [`DoubleSkeleton::set_replacement_payload`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn replacement_slots(&self, key: usize) -> (usize, usize) {
+        let (up, lo) = self.replacement_nodes[key];
+        (up.0, lo.0)
     }
 
     /// The underlying network (current payloads included).

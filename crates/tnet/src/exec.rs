@@ -14,9 +14,10 @@
 //!   precomputed here (a contraction permutation always splits the
 //!   axes into a free group and a contracted group, so the permuted
 //!   flat index factorizes),
-//! * an exact slot-buffer layout inside a shared arena, computed by a
-//!   compile-time free-list allocator that recycles the regions of
-//!   consumed intermediates.
+//! * an exact slot-buffer layout inside a shared arena: every tree
+//!   node (intermediate) owns a **persistent, non-overlapping region**
+//!   for the plan's lifetime, so cached intermediates survive across
+//!   executions and delta replay can reuse them.
 //!
 //! Execution then threads a [`Workspace`] — one per worker thread,
 //! sized once from the plan — through the whole pattern sum: after the
@@ -24,6 +25,22 @@
 //! performs **zero heap allocations per pattern**. The
 //! [`Workspace::allocation_events`] counter makes that invariant
 //! observable (and is asserted in CI by `contract_bench --smoke`).
+//!
+//! # Delta execution
+//!
+//! Because every arena slot is persistent and every tree node is a
+//! deterministic function of its children, a replay whose payloads
+//! differ from the previous one in only a few leaves need not rerun the
+//! whole tree: [`ExecutablePlan::execute_network_delta_into`] recomputes
+//! exactly the union of the dirty leaves' leaf-to-root paths (plus the
+//! final output gather) and leaves every other cached intermediate
+//! untouched — **bit-identical to a full replay by construction**, at
+//! `O(dirty leaves × tree depth)` steps instead of `O(network)`. The
+//! workspace tracks which plan's intermediates it holds
+//! ([`Workspace::is_warm_for`]); a delta request against a cold or
+//! foreign workspace silently falls back to a full replay, which is
+//! what makes per-worker chunked pattern streams correct without any
+//! coordination.
 //!
 //! Results are bit-identical to the allocating reference path
 //! ([`crate::plan::ContractionPlan::execute_reference`]): the micro
@@ -35,6 +52,13 @@ use crate::plan::ContractionPlan;
 use qns_linalg::kernels::{matmul_gather_lhs_into, matmul_into};
 use qns_linalg::Complex64;
 use qns_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic id source distinguishing lowered plans, so a [`Workspace`]
+/// can tell whose intermediates its arena currently caches. Clones of
+/// an [`ExecutablePlan`] share the id — their layouts are identical, so
+/// their cached intermediates are interchangeable.
+static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Where a slot's buffer lives during execution.
 #[derive(Clone, Copy, Debug)]
@@ -77,9 +101,15 @@ struct ExecStep {
 /// threads — all mutable state lives in the per-thread [`Workspace`].
 #[derive(Clone, Debug)]
 pub struct ExecutablePlan {
+    /// Identity for workspace warm-tracking (shared by clones).
+    id: u64,
     n_inputs: usize,
     input_lens: Vec<usize>,
     steps: Vec<ExecStep>,
+    /// Per input slot: the step indices on its leaf-to-root path, in
+    /// ascending (execution) order — precomputed so delta replay is a
+    /// merge of sorted lists, no tree walk.
+    leaf_paths: Vec<Vec<u32>>,
     /// Location of the final tensor before the output permutation.
     result: SlotLoc,
     result_len: usize,
@@ -93,17 +123,24 @@ pub struct ExecutablePlan {
 }
 
 /// Per-thread scratch memory for [`ExecutablePlan`] execution: the
-/// intermediate-slot arena, the rhs-permutation scratch and the output
-/// buffer. Grown on first use (or by [`Workspace::for_plan`]) and
-/// reused verbatim afterwards; buffers are never shrunk, so one
-/// workspace can serve several plans (e.g. the two split halves of the
-/// pattern sum) at the maximum of their footprints.
+/// intermediate-slot arena (the contraction tree's node cache), the
+/// rhs-permutation scratch and the output buffer. Grown on first use
+/// (or by [`Workspace::for_plan`]) and reused verbatim afterwards;
+/// buffers are never shrunk, so one workspace can serve several plans
+/// (e.g. the two split halves of the pattern sum) at the maximum of
+/// their footprints — though only the most recently executed plan's
+/// intermediates stay cached for delta replay.
 #[derive(Debug, Default)]
 pub struct Workspace {
     arena: Vec<Complex64>,
     scratch: Vec<Complex64>,
     out: Vec<Complex64>,
     allocation_events: u64,
+    /// Id of the plan whose intermediates the arena currently holds
+    /// (set by any full execution; delta replay requires a match).
+    warm_for: Option<u64>,
+    /// Reused buffer for the merged dirty-step set of a delta replay.
+    dirty_steps: Vec<u32>,
 }
 
 impl Workspace {
@@ -133,6 +170,15 @@ impl Workspace {
         self.arena.len() + self.scratch.len() + self.out.len()
     }
 
+    /// Whether this workspace's arena holds `plan`'s cached
+    /// intermediates — i.e. whether a delta execution against `plan`
+    /// would take the incremental path rather than fall back to a full
+    /// replay. Set by any full execution of `plan`; cleared by
+    /// executing a different plan through the same workspace.
+    pub fn is_warm_for(&self, plan: &ExecutablePlan) -> bool {
+        self.warm_for == Some(plan.id)
+    }
+
     /// Grows any undersized buffer to `plan`'s footprint.
     fn ensure(&mut self, plan: &ExecutablePlan) {
         for (buf, need) in [
@@ -144,58 +190,6 @@ impl Workspace {
                 buf.resize(need, Complex64::ZERO);
                 self.allocation_events += 1;
             }
-        }
-    }
-}
-
-/// Compile-time free-list allocator laying out intermediate slots in
-/// one arena. Regions of consumed slots are recycled (first-fit,
-/// coalescing), so the arena's high-water mark — not the sum of all
-/// intermediate sizes — bounds workspace memory.
-#[derive(Debug, Default)]
-struct RegionAlloc {
-    /// Free regions `(offset, len)`, sorted by offset, coalesced.
-    free: Vec<(usize, usize)>,
-    high: usize,
-}
-
-impl RegionAlloc {
-    fn alloc(&mut self, len: usize) -> usize {
-        if len == 0 {
-            return 0;
-        }
-        if let Some(i) = self.free.iter().position(|&(_, flen)| flen >= len) {
-            let (off, flen) = self.free[i];
-            if flen == len {
-                self.free.remove(i);
-            } else {
-                self.free[i] = (off + len, flen - len);
-            }
-            return off;
-        }
-        let off = self.high;
-        self.high += len;
-        off
-    }
-
-    fn release(&mut self, offset: usize, len: usize) {
-        if len == 0 {
-            return;
-        }
-        let i = self
-            .free
-            .iter()
-            .position(|&(off, _)| off > offset)
-            .unwrap_or(self.free.len());
-        self.free.insert(i, (offset, len));
-        // Coalesce with the successor, then the predecessor.
-        if i + 1 < self.free.len() && self.free[i].0 + self.free[i].1 == self.free[i + 1].0 {
-            self.free[i].1 += self.free[i + 1].1;
-            self.free.remove(i + 1);
-        }
-        if i > 0 && self.free[i - 1].0 + self.free[i - 1].1 == self.free[i].0 {
-            self.free[i - 1].1 += self.free[i].1;
-            self.free.remove(i);
         }
     }
 }
@@ -241,7 +235,10 @@ impl ExecutablePlan {
         let input_shapes = plan.input_shapes();
         let mut slot_locs: Vec<SlotLoc> = (0..n_inputs).map(SlotLoc::Input).collect();
         let mut slot_shapes: Vec<Vec<usize>> = input_shapes.to_vec();
-        let mut arena = RegionAlloc::default();
+        // Persistent bump layout: every tree node owns its region for
+        // the plan's lifetime (no recycling), so cached intermediates
+        // survive across executions — the invariant delta replay needs.
+        let mut arena_len = 0usize;
         let mut scratch_len = 0usize;
         let mut steps = Vec::with_capacity(plan.steps().len());
 
@@ -281,14 +278,8 @@ impl ExecutablePlan {
             };
 
             let dst_len = m * n;
-            // Allocate the destination while both operands are still
-            // live so it can never overlap them, then recycle theirs.
-            let dst_offset = arena.alloc(dst_len);
-            for &s in [step.lhs, step.rhs].iter() {
-                if let SlotLoc::Arena { offset, len } = slot_locs[s] {
-                    arena.release(offset, len);
-                }
-            }
+            let dst_offset = arena_len;
+            arena_len += dst_len;
             steps.push(ExecStep {
                 lhs: slot_locs[step.lhs],
                 rhs: slot_locs[step.rhs],
@@ -329,15 +320,20 @@ impl ExecutablePlan {
 
         let mut replay_stats = plan.replay_stats();
         replay_stats.plan_reuses = 1;
+        let leaf_paths = (0..n_inputs)
+            .map(|l| plan.leaf_path(l).into_iter().map(|s| s as u32).collect())
+            .collect();
         ExecutablePlan {
+            id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
             n_inputs,
             input_lens: input_shapes.iter().map(|s| s.iter().product()).collect(),
             steps,
+            leaf_paths,
             result,
             result_len,
             output_shape,
             out_gather,
-            arena_len: arena.high,
+            arena_len,
             scratch_len,
             replay_stats,
         }
@@ -424,84 +420,255 @@ impl ExecutablePlan {
         self.execute_network_into(net, ws)[0]
     }
 
+    /// Delta execution against borrowed input tensors: recomputes only
+    /// the contraction-tree paths from the `dirty_leaves` (input-slot
+    /// indices whose payloads changed since the previous execution
+    /// through `ws`) to the root, reusing every other intermediate
+    /// cached in the workspace arena — bit-identical to
+    /// [`ExecutablePlan::execute_into`] by construction.
+    ///
+    /// Falls back to a full replay when `ws` was not warmed by this
+    /// plan (first execution, or the workspace last ran a different
+    /// plan), so callers never need to track warmth themselves. The
+    /// returned [`ContractionStats`] count the pair contractions
+    /// actually executed, which is how the saving shows up in
+    /// aggregate run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count, a buffer length, or a dirty-leaf
+    /// index disagrees with the plan. Leaves *not* listed in
+    /// `dirty_leaves` must hold the same payloads as the previous
+    /// execution through `ws`; this is the caller's contract and is
+    /// not checked (checking would cost the full replay the delta
+    /// path avoids).
+    pub fn execute_delta_into<'w>(
+        &self,
+        inputs: &[&Tensor],
+        dirty_leaves: &[usize],
+        ws: &'w mut Workspace,
+    ) -> (&'w [Complex64], ContractionStats) {
+        assert_eq!(
+            inputs.len(),
+            self.n_inputs,
+            "plan expects {} input tensors, got {}",
+            self.n_inputs,
+            inputs.len()
+        );
+        self.run_delta(|i| inputs[i].as_slice(), dirty_leaves, ws)
+    }
+
+    /// [`ExecutablePlan::execute_delta_into`] against the tensors
+    /// currently held by `net` — `dirty_leaves` are node indices. This
+    /// is the pattern sum's incremental entry point: swap only the
+    /// payloads that changed, then replay only their tree paths.
+    ///
+    /// # Panics
+    ///
+    /// As [`ExecutablePlan::execute_delta_into`].
+    pub fn execute_network_delta_into<'w>(
+        &self,
+        net: &TensorNetwork,
+        dirty_leaves: &[usize],
+        ws: &'w mut Workspace,
+    ) -> (&'w [Complex64], ContractionStats) {
+        assert_eq!(
+            net.node_count(),
+            self.n_inputs,
+            "plan expects {} input tensors, got {}",
+            self.n_inputs,
+            net.node_count()
+        );
+        self.run_delta(|i| net.node_tensor(i).as_slice(), dirty_leaves, ws)
+    }
+
+    /// [`ExecutablePlan::execute_network_delta_into`] for fully
+    /// contracted (rank-0) plans, returning the scalar directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's output is not rank 0, and as
+    /// [`ExecutablePlan::execute_delta_into`].
+    pub fn execute_network_delta_scalar(
+        &self,
+        net: &TensorNetwork,
+        dirty_leaves: &[usize],
+        ws: &mut Workspace,
+    ) -> (Complex64, ContractionStats) {
+        assert!(
+            self.output_shape.is_empty(),
+            "execute_network_delta_scalar requires a rank-0 output"
+        );
+        let (out, stats) = self.execute_network_delta_into(net, dirty_leaves, ws);
+        (out[0], stats)
+    }
+
     fn run<'w, 'i>(
         &self,
         input: impl Fn(usize) -> &'i [Complex64],
         ws: &'w mut Workspace,
     ) -> &'w [Complex64] {
         ws.ensure(self);
-        let Workspace {
-            arena,
-            scratch,
-            out,
-            allocation_events: _,
-        } = ws;
         if self.n_inputs == 0 {
-            out[0] = Complex64::ONE;
-            return &out[..1];
+            ws.out[0] = Complex64::ONE;
+            ws.warm_for = Some(self.id);
+            return &ws.out[..1];
         }
+        {
+            let Workspace {
+                arena,
+                scratch,
+                out,
+                ..
+            } = &mut *ws;
+            for step in &self.steps {
+                self.exec_step(step, &input, arena, scratch);
+            }
+            self.finalize(&input, arena, out);
+        }
+        // The arena now caches every intermediate of this plan — the
+        // workspace is warm for delta replay.
+        ws.warm_for = Some(self.id);
+        &ws.out[..self.result_len]
+    }
+
+    /// Incremental replay: reruns only the steps on the dirty leaves'
+    /// leaf-to-root paths (plus the final output stage), reusing every
+    /// other intermediate cached in the arena. Falls back to a full
+    /// [`ExecutablePlan::run`] when `ws` is not warm for this plan.
+    /// The returned stats count the steps actually executed.
+    fn run_delta<'w, 'i>(
+        &self,
+        input: impl Fn(usize) -> &'i [Complex64],
+        dirty_leaves: &[usize],
+        ws: &'w mut Workspace,
+    ) -> (&'w [Complex64], ContractionStats) {
+        if ws.warm_for != Some(self.id) || self.n_inputs == 0 {
+            let out = self.run(input, ws);
+            return (out, self.replay_stats);
+        }
+        // Union of the dirty leaves' (individually sorted) paths, as
+        // one ascending step sequence. Reuses the workspace's merge
+        // buffer: no allocation once it has grown.
+        let mut dirty_steps = std::mem::take(&mut ws.dirty_steps);
+        dirty_steps.clear();
+        for &leaf in dirty_leaves {
+            assert!(leaf < self.n_inputs, "dirty leaf {leaf} out of range");
+            if dirty_steps.len() + self.leaf_paths[leaf].len() > dirty_steps.capacity() {
+                ws.allocation_events += 1;
+            }
+            dirty_steps.extend_from_slice(&self.leaf_paths[leaf]);
+        }
+        dirty_steps.sort_unstable();
+        dirty_steps.dedup();
+        let mut stats = ContractionStats {
+            plan_reuses: 1,
+            max_intermediate: self.replay_stats.max_intermediate,
+            ..Default::default()
+        };
+        {
+            let Workspace {
+                arena,
+                scratch,
+                out,
+                ..
+            } = &mut *ws;
+            for &si in &dirty_steps {
+                let step = &self.steps[si as usize];
+                self.exec_step(step, &input, arena, scratch);
+                stats.contractions += 1;
+                stats.flops_proxy += (step.m as u128)
+                    .saturating_mul(step.k.max(1) as u128)
+                    .saturating_mul(step.n as u128);
+            }
+            self.finalize(&input, arena, out);
+        }
+        ws.dirty_steps = dirty_steps;
+        (&ws.out[..self.result_len], stats)
+    }
+
+    /// Runs one lowered step against the arena/scratch buffers. The
+    /// destination region is disjoint from every other slot region by
+    /// construction (persistent bump layout), so a step only ever
+    /// overwrites its own node's cache.
+    fn exec_step<'i>(
+        &self,
+        step: &ExecStep,
+        input: &impl Fn(usize) -> &'i [Complex64],
+        arena: &mut [Complex64],
+        scratch: &mut [Complex64],
+    ) {
         let checked_input = |i: usize| -> &'i [Complex64] {
             let s = input(i);
             assert_eq!(s.len(), self.input_lens[i], "input tensor {i} length");
             s
         };
-
-        for step in &self.steps {
-            // Materialize the permuted rhs into scratch (factorized
-            // two-level offset copy; no div/mod) when it isn't already
-            // in k-leading order.
-            if let Some(g) = &step.rhs_gather {
-                let src: &[Complex64] = match step.rhs {
-                    SlotLoc::Input(i) => checked_input(i),
-                    SlotLoc::Arena { offset, len } => &arena[offset..offset + len],
-                };
-                let dst = &mut scratch[..step.k * step.n];
-                for (r, &ro) in g.row.iter().enumerate() {
-                    let drow = &mut dst[r * step.n..(r + 1) * step.n];
-                    for (d, &co) in drow.iter_mut().zip(&g.col) {
-                        *d = src[ro + co];
-                    }
-                }
-            }
-
-            // Split the arena into the disjoint shared/mutable regions
-            // this step touches, then run the micro kernel.
-            let lhs_region = match step.lhs {
-                SlotLoc::Arena { offset, len } => Some((offset, len)),
-                SlotLoc::Input(_) => None,
-            };
-            let rhs_region = match (step.rhs_gather.is_some(), step.rhs) {
-                (false, SlotLoc::Arena { offset, len }) => Some((offset, len)),
-                _ => None, // input, or already materialized in scratch
-            };
-            let (lhs_arena, rhs_arena, dst) = split3(
-                arena,
-                lhs_region,
-                rhs_region,
-                (step.dst_offset, step.m * step.n),
-            );
-            let a = match step.lhs {
+        // Materialize the permuted rhs into scratch (factorized
+        // two-level offset copy; no div/mod) when it isn't already
+        // in k-leading order.
+        if let Some(g) = &step.rhs_gather {
+            let src: &[Complex64] = match step.rhs {
                 SlotLoc::Input(i) => checked_input(i),
-                SlotLoc::Arena { .. } => lhs_arena.expect("lhs arena region"),
+                SlotLoc::Arena { offset, len } => &arena[offset..offset + len],
             };
-            let b = if step.rhs_gather.is_some() {
-                &scratch[..step.k * step.n]
-            } else {
-                match step.rhs {
-                    SlotLoc::Input(i) => checked_input(i),
-                    SlotLoc::Arena { .. } => rhs_arena.expect("rhs arena region"),
+            let dst = &mut scratch[..step.k * step.n];
+            for (r, &ro) in g.row.iter().enumerate() {
+                let drow = &mut dst[r * step.n..(r + 1) * step.n];
+                for (d, &co) in drow.iter_mut().zip(&g.col) {
+                    *d = src[ro + co];
                 }
-            };
-            match &step.lhs_gather {
-                None => matmul_into(a, b, dst, step.m, step.k, step.n),
-                Some(g) => matmul_gather_lhs_into(a, &g.row, &g.col, b, dst, step.n),
             }
         }
 
-        // Final stage: copy/gather the result into the output buffer
-        // (applying the open-leg output permutation when present).
-        let res: &[Complex64] = match self.result {
+        // Split the arena into the disjoint shared/mutable regions
+        // this step touches, then run the micro kernel.
+        let lhs_region = match step.lhs {
+            SlotLoc::Arena { offset, len } => Some((offset, len)),
+            SlotLoc::Input(_) => None,
+        };
+        let rhs_region = match (step.rhs_gather.is_some(), step.rhs) {
+            (false, SlotLoc::Arena { offset, len }) => Some((offset, len)),
+            _ => None, // input, or already materialized in scratch
+        };
+        let (lhs_arena, rhs_arena, dst) = split3(
+            arena,
+            lhs_region,
+            rhs_region,
+            (step.dst_offset, step.m * step.n),
+        );
+        let a = match step.lhs {
             SlotLoc::Input(i) => checked_input(i),
+            SlotLoc::Arena { .. } => lhs_arena.expect("lhs arena region"),
+        };
+        let b = if step.rhs_gather.is_some() {
+            &scratch[..step.k * step.n]
+        } else {
+            match step.rhs {
+                SlotLoc::Input(i) => checked_input(i),
+                SlotLoc::Arena { .. } => rhs_arena.expect("rhs arena region"),
+            }
+        };
+        match &step.lhs_gather {
+            None => matmul_into(a, b, dst, step.m, step.k, step.n),
+            Some(g) => matmul_gather_lhs_into(a, &g.row, &g.col, b, dst, step.n),
+        }
+    }
+
+    /// Final stage: copy/gather the root slot into the output buffer
+    /// (applying the open-leg output permutation when present). Always
+    /// rerun — even by delta replay, whose dirty set may be empty.
+    fn finalize<'i>(
+        &self,
+        input: &impl Fn(usize) -> &'i [Complex64],
+        arena: &[Complex64],
+        out: &mut [Complex64],
+    ) {
+        let res: &[Complex64] = match self.result {
+            SlotLoc::Input(i) => {
+                let s = input(i);
+                assert_eq!(s.len(), self.input_lens[i], "input tensor {i} length");
+                s
+            }
             SlotLoc::Arena { offset, len } => &arena[offset..offset + len],
         };
         let out = &mut out[..self.result_len];
@@ -513,7 +680,6 @@ impl ExecutablePlan {
             }
             None => out.copy_from_slice(res),
         }
-        out
     }
 }
 
@@ -576,31 +742,113 @@ mod tests {
         Tensor::from_vec(data, shape)
     }
 
-    #[test]
-    fn region_alloc_recycles_and_coalesces() {
-        let mut ra = RegionAlloc::default();
-        let a = ra.alloc(10);
-        let b = ra.alloc(10);
-        let c = ra.alloc(10);
-        assert_eq!((a, b, c), (0, 10, 20));
-        ra.release(a, 10);
-        ra.release(c, 10);
-        // Freeing b coalesces everything back into one region.
-        ra.release(b, 10);
-        assert_eq!(ra.free, vec![(0, 30)]);
-        assert_eq!(ra.alloc(30), 0);
-        assert_eq!(ra.high, 30);
+    /// A 4-node chain where payload swaps and delta replays can be
+    /// compared against full executions.
+    fn chain4(rng: &mut StdRng) -> (TensorNetwork, Vec<Vec<usize>>) {
+        let shapes = vec![vec![2, 3], vec![3, 4], vec![4, 3], vec![3, 2]];
+        let mut net = TensorNetwork::new();
+        let legs: Vec<usize> = (0..5).map(|_| net.fresh_leg()).collect();
+        for (i, s) in shapes.iter().enumerate() {
+            net.add(rand_tensor(rng, s.clone()), vec![legs[i], legs[i + 1]]);
+        }
+        (net, shapes)
     }
 
     #[test]
-    fn region_alloc_first_fit_splits() {
-        let mut ra = RegionAlloc::default();
-        let a = ra.alloc(8);
-        let _b = ra.alloc(4);
-        ra.release(a, 8);
-        // 6 fits inside the freed 8-region, leaving (6, 2) free.
-        assert_eq!(ra.alloc(6), 0);
-        assert_eq!(ra.free, vec![(6, 2)]);
+    fn delta_on_cold_workspace_falls_back_to_full_replay() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (net, _) = chain4(&mut rng);
+        let exec = net.plan(OrderStrategy::Greedy).compile();
+        let mut ws = Workspace::new();
+        assert!(!ws.is_warm_for(&exec));
+        // No leaf is dirty, but the cold workspace forces a full run.
+        let (out, stats) = exec.execute_network_delta_into(&net, &[], &mut ws);
+        assert_eq!(stats.contractions, 3);
+        let out = out.to_vec();
+        assert!(ws.is_warm_for(&exec));
+        let (reference, _) = net
+            .plan(OrderStrategy::Greedy)
+            .execute_network_reference(&net);
+        assert_eq!(out, reference.as_slice());
+    }
+
+    #[test]
+    fn delta_recomputes_only_dirty_paths_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (mut net, shapes) = chain4(&mut rng);
+        let exec = net.plan(OrderStrategy::Greedy).compile();
+        let mut ws = Workspace::for_plan(&exec);
+        let _ = exec.execute_network_into(&net, &mut ws);
+        let warm = ws.allocation_events();
+
+        for dirty in 0..shapes.len() {
+            net.set_tensor(
+                net.node_id(dirty),
+                rand_tensor(&mut rng, shapes[dirty].clone()),
+            );
+            let (out, stats) = exec.execute_network_delta_into(&net, &[dirty], &mut ws);
+            // A delta replay runs strictly fewer pair contractions than
+            // the full chain (3 steps) unless the leaf sits at maximum
+            // depth.
+            assert!(stats.contractions <= 3, "leaf {dirty}");
+            assert!(stats.contractions >= 1, "leaf {dirty}");
+            assert_eq!(stats.plan_reuses, 1);
+            let out = out.to_vec();
+            let (reference, _) = net
+                .plan(OrderStrategy::Greedy)
+                .execute_network_reference(&net);
+            assert_eq!(out, reference.as_slice(), "leaf {dirty}");
+        }
+        // The first delta may grow the dirty-step merge buffer; after
+        // that the delta path allocates nothing.
+        let after_first = ws.allocation_events();
+        for dirty in 0..shapes.len() {
+            net.set_tensor(
+                net.node_id(dirty),
+                rand_tensor(&mut rng, shapes[dirty].clone()),
+            );
+            let _ = exec.execute_network_delta_into(&net, &[dirty], &mut ws);
+        }
+        assert_eq!(ws.allocation_events(), after_first);
+        assert!(after_first <= warm + 1);
+    }
+
+    #[test]
+    fn foreign_plan_cools_the_workspace() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (net_a, _) = chain4(&mut rng);
+        let (mut net_b, shapes_b) = chain4(&mut rng);
+        let exec_a = net_a.plan(OrderStrategy::Greedy).compile();
+        let exec_b = net_b.plan(OrderStrategy::Greedy).compile();
+        let mut ws = Workspace::new();
+        let _ = exec_b.execute_network_into(&net_b, &mut ws);
+        // Running plan A invalidates B's cached intermediates …
+        let _ = exec_a.execute_network_into(&net_a, &mut ws);
+        assert!(!ws.is_warm_for(&exec_b));
+        // … so B's next delta must fall back to a full replay and
+        // still match the reference.
+        net_b.set_tensor(net_b.node_id(0), rand_tensor(&mut rng, shapes_b[0].clone()));
+        let (out, stats) = exec_b.execute_network_delta_into(&net_b, &[0], &mut ws);
+        assert_eq!(stats.contractions, 3, "full-replay fallback");
+        let out = out.to_vec();
+        let (reference, _) = net_b
+            .plan(OrderStrategy::Greedy)
+            .execute_network_reference(&net_b);
+        assert_eq!(out, reference.as_slice());
+    }
+
+    #[test]
+    fn clones_share_warmth() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let (net, _) = chain4(&mut rng);
+        let exec = net.plan(OrderStrategy::Greedy).compile();
+        let clone = exec.clone();
+        let mut ws = Workspace::new();
+        let _ = exec.execute_network_into(&net, &mut ws);
+        // Identical layout ⇒ the clone may reuse the cache.
+        assert!(ws.is_warm_for(&clone));
+        let (_, stats) = clone.execute_network_delta_into(&net, &[], &mut ws);
+        assert_eq!(stats.contractions, 0);
     }
 
     #[test]

@@ -38,10 +38,14 @@ use qns_linalg::Complex64;
 use qns_tensor::Tensor;
 use std::borrow::Cow;
 
-/// One pair contraction in a [`ContractionPlan`].
+/// One pair contraction in a [`ContractionPlan`] — an internal node of
+/// the contraction **tree**.
 ///
-/// Slots `0..n_inputs` hold the input tensors (in node order); step `i`
-/// consumes two earlier slots and produces slot `n_inputs + i`.
+/// Slots `0..n_inputs` hold the input tensors (in node order, the
+/// tree's leaves); step `i` consumes two earlier slots (its children)
+/// and produces slot `n_inputs + i`. Because every slot is consumed
+/// exactly once, the step list is a binary tree in topological order:
+/// the slot indices on any leaf-to-root path are strictly increasing.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlanStep {
     /// Slot index of the left operand.
@@ -53,6 +57,15 @@ pub struct PlanStep {
     /// Axes of the right operand contracted in this step (aligned with
     /// `axes_lhs`).
     pub axes_rhs: Vec<usize>,
+}
+
+impl PlanStep {
+    /// The two child slots this tree node contracts (`lhs`, `rhs`).
+    /// Slots below the plan's `n_inputs` are leaves (input tensors);
+    /// slot `n_inputs + i` is the output of step `i`.
+    pub fn children(&self) -> (usize, usize) {
+        (self.lhs, self.rhs)
+    }
 }
 
 /// A precomputed contraction schedule for one network skeleton.
@@ -68,6 +81,10 @@ pub struct ContractionPlan {
     n_inputs: usize,
     input_shapes: Vec<Vec<usize>>,
     steps: Vec<PlanStep>,
+    /// Explicit tree structure: `slot_parent[s]` is the index of the
+    /// step consuming slot `s` (`None` for the root slot). Leaves are
+    /// slots `0..n_inputs`; step `i` produces slot `n_inputs + i`.
+    slot_parent: Vec<Option<usize>>,
     /// Permutation bringing the final tensor's axes into ascending
     /// open-leg order (`None` when already sorted).
     output_perm: Option<Vec<usize>>,
@@ -97,6 +114,7 @@ impl ContractionPlan {
         let input_shapes: Vec<Vec<usize>> = skeleton.iter().map(|(s, _)| s.clone()).collect();
         let mut slots: Vec<Option<SkeletonNode>> = skeleton.into_iter().map(Some).collect();
         let mut steps = Vec::new();
+        let mut slot_parent: Vec<Option<usize>> = vec![None; n_inputs];
         let mut replay_stats = ContractionStats::default();
 
         if n_inputs > 0 {
@@ -175,16 +193,29 @@ impl ContractionPlan {
                     }
                 }
 
+                // Stats are advisory sizing, so saturate like
+                // `pair_cost` does — adversarial shapes must not be
+                // able to panic the planner (debug overflow checks).
                 replay_stats.contractions += 1;
-                let result_len: usize = shape.iter().product();
+                let result_len = saturating_product(&shape);
                 replay_stats.max_intermediate = replay_stats.max_intermediate.max(result_len);
-                let k: usize = axes_lhs.iter().map(|&i| sa[i]).product();
-                let a_len: usize = sa.iter().product();
-                let b_len: usize = sb.iter().product();
+                let k = axes_lhs
+                    .iter()
+                    .fold(1usize, |acc, &i| acc.saturating_mul(sa[i]));
+                let a_len = saturating_product(&sa);
+                let b_len = saturating_product(&sb);
                 let m = a_len / k.max(1);
                 let n = b_len / k.max(1);
-                replay_stats.flops_proxy += (m as u128) * (k.max(1) as u128) * (n as u128);
+                replay_stats.flops_proxy = replay_stats.flops_proxy.saturating_add(
+                    (m as u128)
+                        .saturating_mul(k.max(1) as u128)
+                        .saturating_mul(n as u128),
+                );
 
+                let step_idx = steps.len();
+                slot_parent[a] = Some(step_idx);
+                slot_parent[b] = Some(step_idx);
+                slot_parent.push(None);
                 steps.push(PlanStep {
                     lhs: a,
                     rhs: b,
@@ -210,6 +241,7 @@ impl ContractionPlan {
             n_inputs,
             input_shapes,
             steps,
+            slot_parent,
             output_perm,
             replay_stats,
             strategy,
@@ -258,9 +290,53 @@ impl ContractionPlan {
         }
     }
 
-    /// The recorded pair-contraction sequence.
+    /// The recorded pair-contraction sequence — the contraction tree's
+    /// internal nodes in topological (bottom-up) order.
     pub fn steps(&self) -> &[PlanStep] {
         &self.steps
+    }
+
+    /// Total slot count: `n_inputs` leaves plus one slot per step.
+    pub fn slot_count(&self) -> usize {
+        self.n_inputs + self.steps.len()
+    }
+
+    /// The step consuming slot `slot`, or `None` for the root slot
+    /// (and for every slot of a stepless plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= slot_count()`.
+    pub fn slot_parent(&self, slot: usize) -> Option<usize> {
+        self.slot_parent[slot]
+    }
+
+    /// The step indices on the path from leaf slot `leaf` to the root,
+    /// in ascending (execution) order. Empty for a stepless plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf >= n_inputs()`.
+    pub fn leaf_path(&self, leaf: usize) -> Vec<usize> {
+        assert!(leaf < self.n_inputs, "leaf slot {leaf} out of range");
+        let mut path = Vec::new();
+        let mut slot = leaf;
+        while let Some(step) = self.slot_parent[slot] {
+            path.push(step);
+            slot = self.n_inputs + step;
+        }
+        path
+    }
+
+    /// Height of the contraction tree: the largest number of steps on
+    /// any leaf-to-root path (0 for plans with at most one input).
+    /// Delta execution recomputes at most `tree_depth` steps per dirty
+    /// leaf.
+    pub fn tree_depth(&self) -> usize {
+        (0..self.n_inputs)
+            .map(|l| self.leaf_path(l).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The order strategy the plan was searched with.
@@ -376,6 +452,12 @@ impl ContractionPlan {
         };
         (tensor, stats)
     }
+}
+
+/// Product of a shape's dimensions, saturating at `usize::MAX` so
+/// adversarial shapes cannot panic planning in debug builds.
+fn saturating_product(shape: &[usize]) -> usize {
+    shape.iter().fold(1usize, |acc, &d| acc.saturating_mul(d))
 }
 
 /// Result size (elements) of contracting skeleton slots `a` and `b` —
@@ -505,6 +587,55 @@ mod tests {
         let plan = net.plan(OrderStrategy::Greedy);
         let (t, _) = plan.execute_network(&net);
         assert_eq!(t.as_slice()[0], cr(6.0));
+    }
+
+    #[test]
+    fn tree_structure_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let (net, _) = chain_network(&mut rng);
+        for strategy in [OrderStrategy::Greedy, OrderStrategy::Sequential] {
+            let plan = net.plan(strategy);
+            assert_eq!(plan.slot_count(), plan.n_inputs() + plan.steps().len());
+            // Exactly one root; every other slot has exactly one parent
+            // that lists it as a child.
+            let mut roots = 0;
+            for slot in 0..plan.slot_count() {
+                match plan.slot_parent(slot) {
+                    None => roots += 1,
+                    Some(step) => {
+                        let (l, r) = plan.steps()[step].children();
+                        assert!(l == slot || r == slot, "{strategy:?}: slot {slot}");
+                        assert!(plan.n_inputs() + step > slot, "topological order");
+                    }
+                }
+            }
+            assert_eq!(roots, 1, "{strategy:?}");
+            // Leaf paths are ascending step sequences ending at the root.
+            for leaf in 0..plan.n_inputs() {
+                let path = plan.leaf_path(leaf);
+                assert!(path.windows(2).all(|w| w[0] < w[1]), "{strategy:?}");
+                let last = *path.last().expect("chain has steps");
+                assert_eq!(plan.slot_parent(plan.n_inputs() + last), None);
+            }
+            assert!(plan.tree_depth() >= 1 && plan.tree_depth() <= plan.steps().len());
+        }
+    }
+
+    #[test]
+    fn planning_saturates_on_adversarial_shapes() {
+        // Two rank-4 nodes of dimension 2^16 per axis: intermediates
+        // overflow usize on 64-bit when multiplied out. Planning (which
+        // only does shape arithmetic) must saturate, not panic.
+        let dim = 1usize << 16;
+        let skeleton: Vec<(Vec<usize>, Vec<LegId>)> = vec![
+            (vec![dim; 4], vec![0, 1, 2, 3]),
+            (vec![dim; 4], vec![3, 4, 5, 6]),
+        ];
+        let plan = ContractionPlan::from_skeleton(skeleton, OrderStrategy::Greedy);
+        let stats = plan.replay_stats();
+        assert_eq!(stats.contractions, 1);
+        assert_eq!(stats.max_intermediate, usize::MAX);
+        assert!(stats.flops_proxy > 0);
     }
 
     #[test]

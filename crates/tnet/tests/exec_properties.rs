@@ -118,6 +118,62 @@ proptest! {
         prop_assert_eq!(ws.allocation_events(), warm);
     }
 
+    /// Delta replay after mutating an arbitrary subset of leaves is
+    /// bit-identical to the reference contraction of the mutated
+    /// network, never executes more steps than a full replay, and
+    /// stops allocating once warm — across repeated rounds (including
+    /// empty dirty sets) on one workspace.
+    #[test]
+    fn delta_matches_reference_bitwise(seed in 0u64..5000, k in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDE17A);
+        let (mut net, shapes) = random_network(&mut rng, k);
+        let plan = net.plan(OrderStrategy::Greedy);
+        let exec = plan.compile();
+        let mut ws = Workspace::new();
+        exec.execute_network_into(&net, &mut ws); // warm the node cache
+        // An all-leaves delta sizes the dirty-step merge buffer to its
+        // maximum; every later delta must then be allocation-free.
+        let all: Vec<usize> = (0..k).collect();
+        exec.execute_network_delta_into(&net, &all, &mut ws);
+        let warm = ws.allocation_events();
+        for _round in 0..4 {
+            let dirty: Vec<usize> = (0..k).filter(|_| rng.random_range(0..2u32) == 0).collect();
+            for &i in &dirty {
+                net.set_tensor(net.node_id(i), rand_tensor(&mut rng, shapes[i].clone()));
+            }
+            let (out, stats) = exec.execute_network_delta_into(&net, &dirty, &mut ws);
+            let out = out.to_vec();
+            let (reference, _) = plan.execute_network_reference(&net);
+            prop_assert_eq!(out, reference.as_slice().to_vec());
+            prop_assert!(stats.contractions <= exec.replay_stats().contractions);
+            prop_assert_eq!(ws.allocation_events(), warm);
+        }
+    }
+
+    /// Interleaving a foreign plan between a full run and a delta
+    /// cools the workspace: the delta must detect the evicted node
+    /// cache, fall back to a full replay, and still be bit-identical
+    /// to the reference.
+    #[test]
+    fn delta_after_foreign_plan_is_exact(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF0E16);
+        let (mut net_a, shapes_a) = random_network(&mut rng, 4);
+        let (net_b, _) = random_network(&mut rng, 3);
+        let plan_a = net_a.plan(OrderStrategy::Greedy);
+        let exec_a = plan_a.compile();
+        let exec_b = net_b.plan(OrderStrategy::Greedy).compile();
+        let mut ws = Workspace::new();
+        exec_a.execute_network_into(&net_a, &mut ws);
+        exec_b.execute_network_into(&net_b, &mut ws); // evicts a's cache
+        net_a.set_tensor(net_a.node_id(0), rand_tensor(&mut rng, shapes_a[0].clone()));
+        let (out, stats) = exec_a.execute_network_delta_into(&net_a, &[0], &mut ws);
+        let out = out.to_vec();
+        let (reference, _) = plan_a.execute_network_reference(&net_a);
+        prop_assert_eq!(out, reference.as_slice().to_vec());
+        // The fallback executed the whole plan, not just node 0's path.
+        prop_assert_eq!(stats.contractions, exec_a.replay_stats().contractions);
+    }
+
     /// A workspace serves the plans of *different* skeletons (as the
     /// split evaluator's up/lo pair does) without cross-talk.
     #[test]
