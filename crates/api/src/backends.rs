@@ -155,7 +155,16 @@ impl Backend for ApproxBackend {
             job.observable().product(),
             &self.opts,
         )?;
-        Ok(Estimate::exact(res.value, self.name()))
+        let n = job.noisy().noise_count();
+        let level = self.opts.level.min(n);
+        if level < n {
+            // A truncated level carries its a-priori Theorem-1
+            // certificate instead of claiming exactness.
+            let bound = qns_core::bounds::error_bound(n, job.noisy().max_noise_rate(), level);
+            Ok(Estimate::bounded(res.value, bound, level, self.name()))
+        } else {
+            Ok(Estimate::exact(res.value, self.name()))
+        }
     }
 
     fn tolerance(&self) -> f64 {

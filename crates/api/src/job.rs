@@ -238,6 +238,13 @@ pub struct Estimate {
     /// (the MPO backend's discarded singular-value weight); `None`
     /// when the run was exact to machine precision.
     pub truncation_error: Option<f64>,
+    /// A-priori Theorem-1 error bound for level-truncated pattern-sum
+    /// runs: `|value − exact| ≤ error_bound`. `None` when the run was
+    /// exact or the backend carries its uncertainty elsewhere.
+    pub error_bound: Option<f64>,
+    /// The truncation level of a level-truncated pattern-sum run;
+    /// `None` for backends without a level knob (or exact runs).
+    pub level: Option<usize>,
     /// Name of the backend that produced the estimate.
     pub backend: &'static str,
 }
@@ -250,6 +257,8 @@ impl Estimate {
             value,
             std_error: None,
             truncation_error: None,
+            error_bound: None,
+            level: None,
             backend,
         }
     }
@@ -260,6 +269,8 @@ impl Estimate {
             value,
             std_error: Some(std_error),
             truncation_error: None,
+            error_bound: None,
+            level: None,
             backend,
         }
     }
@@ -271,6 +282,21 @@ impl Estimate {
             value,
             std_error: None,
             truncation_error: Some(truncation_error),
+            error_bound: None,
+            level: None,
+            backend,
+        }
+    }
+
+    /// A level-truncated pattern-sum estimate with its a-priori
+    /// Theorem-1 error bound: `|value − exact| ≤ error_bound`.
+    pub fn bounded(value: f64, error_bound: f64, level: usize, backend: &'static str) -> Self {
+        Estimate {
+            value,
+            std_error: None,
+            truncation_error: None,
+            error_bound: Some(error_bound),
+            level: Some(level),
             backend,
         }
     }
@@ -281,17 +307,18 @@ impl Estimate {
     }
 
     /// `true` when the estimate is exact up to machine precision:
-    /// deterministic *and* free of truncation.
+    /// deterministic *and* free of truncation (bond-cap or level).
     pub fn is_exact(&self) -> bool {
-        self.std_error.is_none() && self.truncation_error.is_none()
+        self.std_error.is_none() && self.truncation_error.is_none() && self.error_bound.is_none()
     }
 
     /// Bound-aware agreement check between two estimates: the values
     /// must differ by at most `tol` **plus** each side's declared
-    /// uncertainty — five standard errors for sampling backends and
-    /// the accumulated truncation bound for bond-capped ones. This is
-    /// the one comparison the agreement suites share instead of
-    /// hand-rolling `max(k·σ, ε)` at every call site.
+    /// uncertainty — five standard errors for sampling backends, the
+    /// accumulated truncation bound for bond-capped ones, and the
+    /// Theorem-1 bound for level-truncated ones. This is the one
+    /// comparison the agreement suites share instead of hand-rolling
+    /// `max(k·σ, ε)` at every call site.
     ///
     /// ```
     /// use qns_api::Estimate;
@@ -305,7 +332,9 @@ impl Estimate {
             + 5.0 * self.std_error.unwrap_or(0.0)
             + 5.0 * other.std_error.unwrap_or(0.0)
             + self.truncation_error.unwrap_or(0.0)
-            + other.truncation_error.unwrap_or(0.0);
+            + other.truncation_error.unwrap_or(0.0)
+            + self.error_bound.unwrap_or(0.0)
+            + other.error_bound.unwrap_or(0.0);
         (self.value - other.value).abs() <= slack
     }
 }

@@ -45,6 +45,7 @@ mod backends;
 mod batch;
 pub mod fingerprint;
 mod job;
+pub mod refine;
 
 pub use backends::{
     ApproxBackend, Backend, DensityBackend, MpoBackend, TddBackend, TnetBackend, TrajectoryBackend,
@@ -52,6 +53,7 @@ pub use backends::{
 pub use batch::{compare_backends, run_batch, run_batch_parallel};
 pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use job::{Estimate, ExpectationJob, InitialState, Observable, Simulation};
+pub use refine::{partial_sum_key, PartialEstimate, Refinement};
 
 // Re-exported so downstream code can name every type in a facade
 // signature from this one crate.

@@ -141,14 +141,14 @@ pub struct ApproxResult {
 }
 
 /// One noise site prepared for substitution.
-struct Site {
+pub(crate) struct Site {
     /// `after_gate` index for [`Insertion`] (`usize::MAX` = initial).
     after_gate: usize,
     qubit: usize,
     svd: NoiseSvd,
 }
 
-fn collect_sites(noisy: &NoisyCircuit) -> Vec<Site> {
+pub(crate) fn collect_sites(noisy: &NoisyCircuit) -> Vec<Site> {
     let mk = |after_gate: usize, e: &NoiseEvent| Site {
         after_gate,
         qubit: e.qubit,
@@ -166,7 +166,7 @@ fn collect_sites(noisy: &NoisyCircuit) -> Vec<Site> {
 /// skeletons, so each worker thread clones this pair; the (read-only)
 /// plans and payload tables are shared.
 #[derive(Clone)]
-struct SplitSkeletons {
+pub(crate) struct SplitSkeletons {
     upper: AmplitudeSkeleton,
     lower: AmplitudeSkeleton,
 }
@@ -177,7 +177,7 @@ struct SplitSkeletons {
 /// the hot loop only memcpys 2×2 buffers into the skeleton slots and
 /// replays kernels through a per-worker [`Workspace`]: zero heap
 /// allocations per pattern in steady state.
-struct SplitShared {
+pub(crate) struct SplitShared {
     up: ExecutablePlan,
     lo: ExecutablePlan,
     /// `payloads[site][term] = (upper tensor U_term, lower tensor)`.
@@ -187,14 +187,14 @@ struct SplitShared {
     /// builder conjugate it back).
     payloads: Vec<[(Tensor, Tensor); 4]>,
     /// The stats of the once-per-run setup: two order searches.
-    planning: ContractionStats,
+    pub(crate) planning: ContractionStats,
 }
 
 /// Builds the insertion skeletons for `⟨x|·|ψ⟩` (upper) and
 /// `⟨y|·|ψ⟩`* (lower) with identity placeholders at every noise site,
 /// plans **and compiles** both contractions, and resolves the payload
 /// tensors — the once-per-run setup.
-fn build_split(
+pub(crate) fn build_split(
     circuit: &Circuit,
     psi: &ProductState,
     x: &ProductState,
@@ -247,7 +247,7 @@ fn build_split(
 /// contractions under the minimal-change [`GrayPatternStream`] order.
 /// A cold workspace (a worker's first pattern) falls back to one full
 /// replay inside the executor; no coordination is needed.
-struct SplitDelta {
+pub(crate) struct SplitDelta {
     /// Term installed at each site (`TERM_UNSET` before the first
     /// pattern, so every site reads as changed).
     current: Vec<usize>,
@@ -261,7 +261,7 @@ struct SplitDelta {
 }
 
 impl SplitDelta {
-    fn new(shared: &SplitShared, n_sites: usize) -> Self {
+    pub(crate) fn new(shared: &SplitShared, n_sites: usize) -> Self {
         SplitDelta {
             current: vec![TERM_UNSET; n_sites],
             dirty_up: Vec::new(),
@@ -312,7 +312,7 @@ impl SplitDelta {
 }
 
 /// Validates that a state's qubit count matches the circuit's.
-fn check_state(
+pub(crate) fn check_state(
     what: &'static str,
     state: &ProductState,
     circuit: &Circuit,
@@ -329,7 +329,11 @@ fn check_state(
 
 /// Validates the Theorem-1 pattern budget against the `max_terms`
 /// guard, returning the planned pattern count.
-fn check_budget(n_sites: usize, level: usize, max_terms: u128) -> Result<u128, QnsError> {
+pub(crate) fn check_budget(
+    n_sites: usize,
+    level: usize,
+    max_terms: u128,
+) -> Result<u128, QnsError> {
     let planned: u128 = crate::bounds::planned_patterns(n_sites, level);
     if planned > max_terms {
         return Err(QnsError::TermBudgetExceeded {
@@ -349,7 +353,7 @@ const PATTERN_CHUNK: usize = 32;
 /// Streams the level-`u` patterns sequentially through the shared
 /// plans in minimal-change order, delta-replaying each one. Returns
 /// `(Σ amp_up·amp_lo, patterns evaluated, stats)`.
-fn evaluate_level_sequential(
+pub(crate) fn evaluate_level_sequential(
     skels: &mut SplitSkeletons,
     shared: &SplitShared,
     n: usize,
@@ -377,7 +381,7 @@ fn evaluate_level_sequential(
 /// keep the (non-associative) floating-point sum run-to-run
 /// deterministic every chunk carries a sequence number and the partial
 /// sums are reduced in sequence order after the join.
-fn evaluate_level_parallel(
+pub(crate) fn evaluate_level_parallel(
     skels: &SplitSkeletons,
     shared: &SplitShared,
     n: usize,
@@ -489,50 +493,16 @@ pub fn try_approximate_expectation(
     v: &ProductState,
     opts: &ApproxOptions,
 ) -> Result<ApproxResult, QnsError> {
-    let circuit = noisy.circuit();
-    check_state("input state", psi, circuit)?;
-    check_state("test state", v, circuit)?;
-    let sites = collect_sites(noisy);
-    let n = sites.len();
-    let level = opts.level.min(n);
-    check_budget(n, level, opts.max_terms)?;
-
-    // Plan-once: both split halves are built, order-searched and
-    // compiled here, then only payload-swapped for every pattern
-    // below. The search counters come from the plan objects themselves.
-    let (mut skels, shared) = build_split(circuit, psi, v, v, &sites, opts.strategy);
-    let mut stats = ContractionStats::default();
-    stats.absorb(&shared.planning);
-
-    // Sequential-path delta evaluator, owned across all levels (its
-    // installed-assignment state carries over, so the first pattern of
-    // each level diffs against the last of the previous one) but
-    // created lazily: a fully parallel run (every level fans out to
-    // workers, which own their own evaluators) never allocates it.
-    let mut seq_delta: Option<SplitDelta> = None;
-    let mut per_level = vec![0.0f64; level + 1];
-    let mut terms_evaluated = 0usize;
-
-    for (u, slot) in per_level.iter_mut().enumerate() {
-        let (tu, count, level_stats) =
-            if opts.threads > 1 && crate::bounds::level_patterns(n, u) > 1 {
-                evaluate_level_parallel(&skels, &shared, n, u, opts.threads)
-            } else {
-                let delta = seq_delta.get_or_insert_with(|| SplitDelta::new(&shared, n));
-                evaluate_level_sequential(&mut skels, &shared, n, u, delta)
-            };
-        stats.absorb(&level_stats);
-        terms_evaluated += count;
-        *slot = tu.re;
+    // Built on the level-streaming evaluator so that a direct run and a
+    // streamed [`crate::refine::LevelEvaluator`] run are the *same*
+    // code path — their per-level contributions (and therefore the
+    // final sum) are bitwise identical by construction, not by test.
+    let mut eval = crate::refine::LevelEvaluator::new(noisy, psi, v, opts)?;
+    let level = opts.level.min(eval.site_count());
+    for _ in 0..=level {
+        eval.advance()?;
     }
-
-    Ok(ApproxResult {
-        value: per_level.iter().sum(),
-        per_level,
-        terms_evaluated,
-        contractions: 2 * terms_evaluated,
-        stats,
-    })
+    Ok(eval.into_result())
 }
 
 /// The level-`l` approximation evaluated **without** splitting: each

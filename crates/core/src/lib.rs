@@ -45,6 +45,7 @@ pub mod bounds;
 pub mod noise_svd;
 pub mod patterns;
 pub mod permutation;
+pub mod refine;
 pub mod timing;
 
 pub use approx::{
@@ -60,3 +61,4 @@ pub use noise_svd::NoiseSvd;
 pub use patterns::{GrayPatternStream, PatternStream};
 pub use permutation::tensor_permute;
 pub use qns_noise::QnsError;
+pub use refine::{LevelEvaluator, PartialEstimate};

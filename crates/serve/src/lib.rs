@@ -23,9 +23,19 @@
 //!   fingerprint trigger exactly one backend execution; the other
 //!   N−1 handles join the in-flight computation.
 //!
+//! * **Anytime refinement** — [`Service::submit_refine`] answers
+//!   within a caller's latency budget at the deepest affordable
+//!   truncation level (with its Theorem-1 error bar), then keeps
+//!   tightening the estimate level by level in the background,
+//!   streaming every refinement through a [`RefinementHandle`].
+//!   Per-level partial sums are cached so a resubmission resumes
+//!   instead of restarting; dropping the handle cancels the
+//!   escalation. See [`refine`] for the model.
+//!
 //! [`ServiceStats`] exposes the counters (per-backend job counts and
-//! latencies, cache hit rate, queue high-water mark) that the
-//! `serve_bench` harness turns into `BENCH_serve.json`.
+//! latencies, cache hit rate, queue high-water mark, per-level
+//! refinement completions) that the `serve_bench` and `anytime_bench`
+//! harnesses turn into `BENCH_serve.json` / `BENCH_anytime.json`.
 //!
 //! # Example
 //!
@@ -50,14 +60,16 @@
 //! ```
 
 pub mod cache;
+pub mod refine;
 pub mod router;
 mod service;
 
 pub use cache::{CacheCounters, LruCache};
+pub use refine::{LevelSum, RefineRequest, RefinementHandle, RefinementUpdate};
 pub use router::{route_job, Route, SharedBackend};
 pub use service::{
     default_engines, BackendStats, JobHandle, JobSpec, Service, ServiceBuilder, ServiceStats,
 };
 
 // Re-exported so service code can be written against one crate.
-pub use qns_api::{Estimate, Fingerprint, QnsError};
+pub use qns_api::{Estimate, Fingerprint, PartialEstimate, QnsError};

@@ -22,16 +22,30 @@
 //! A key is never in the single-flight table and the cache at once:
 //! workers insert the result and retire the flight under one lock, and
 //! a flight only registers after a cache miss.
+//!
+//! Anytime refinements ([`Service::submit_refine`]) share the same
+//! bounded queue and worker pool but deliberately **not** the result
+//! cache or single-flight table: a refinement's product is a *stream*
+//! of per-level estimates, cached level-by-level in the partial-sum
+//! cache under [`qns_api::partial_sum_key`]-derived keys (disjoint
+//! from the `route/…` result-cache keys), never as a single
+//! [`Estimate`]. See [`crate::refine`] for the deadline/level model.
 
 use crate::cache::LruCache;
+use crate::refine::{
+    deadline_level, LevelSum, PartialSumCache, RefineRequest, RefineShared, RefinementHandle,
+    RefinementUpdate,
+};
 use crate::router::{route_job, Route, SharedBackend};
 use qns_api::{
-    ApproxBackend, DensityBackend, Estimate, ExpectationJob, Fingerprint, InitialState, MpoBackend,
-    Observable, QnsError, TddBackend, TnetBackend, TrajectoryBackend,
+    partial_sum_key, ApproxBackend, ApproxOptions, DensityBackend, Estimate, ExpectationJob,
+    Fingerprint, InitialState, MpoBackend, Observable, QnsError, Refinement, TddBackend,
+    TnetBackend, TrajectoryBackend,
 };
 use qns_core::timing::time_it;
 use qns_noise::NoisyCircuit;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -203,8 +217,29 @@ pub struct ServiceStats {
     /// Deepest the bounded queue ever got.
     pub queue_high_water: usize,
     /// Per-backend job counts and cumulative latencies, keyed by
-    /// [`qns_api::Backend::name`].
+    /// [`qns_api::Backend::name`] (refinements aggregate under
+    /// `"refine"`, with `seconds` counting fresh level computation
+    /// only).
     pub per_backend: BTreeMap<&'static str, BackendStats>,
+    /// Anytime refinements accepted by [`Service::submit_refine`].
+    pub refinements: u64,
+    /// Freshly *computed* level completions across all refinements,
+    /// keyed by level (cache-installed levels count in
+    /// [`ServiceStats::refine_levels_from_cache`] instead).
+    pub refine_levels_completed: BTreeMap<usize, u64>,
+    /// Levels installed from the partial-sum cache instead of
+    /// computed.
+    pub refine_levels_from_cache: u64,
+    /// Refinements currently queued or escalating — the escalation
+    /// queue depth at snapshot time.
+    pub refine_active: usize,
+    /// Deepest [`ServiceStats::refine_active`] ever got.
+    pub refine_high_water: usize,
+    /// Refinements stopped by explicit cancel or handle drop.
+    pub refine_cancelled: u64,
+    /// Partial-sum cache counters: a hit is a refinement that resumed
+    /// at least one cached level.
+    pub partial_cache: crate::cache::CacheCounters,
 }
 
 impl ServiceStats {
@@ -223,9 +258,22 @@ impl ServiceStats {
     pub fn saved_executions(&self) -> u64 {
         self.cache_hits + self.dedup_joins
     }
+
+    /// Partial-sum cache hits over probes; `0.0` before the first
+    /// refinement probes it.
+    pub fn partial_cache_hit_rate(&self) -> f64 {
+        self.partial_cache.hit_rate()
+    }
 }
 
-/// One queued unit of work.
+/// One queued unit of work: a one-shot expectation job or an anytime
+/// refinement.
+enum Work {
+    Expect(Task),
+    Refine(RefineTask),
+}
+
+/// One queued expectation job.
 struct Task {
     key: u128,
     route: Route,
@@ -233,19 +281,60 @@ struct Task {
     flight: Arc<Flight>,
 }
 
+/// One queued anytime refinement (see [`crate::refine`]).
+struct RefineTask {
+    /// Partial-sum cache key ([`partial_sum_key`] of the spec's
+    /// fingerprint under the service's refine options).
+    key: u128,
+    spec: JobSpec,
+    /// The deadline level promised to the caller; escalation past it
+    /// is best-effort (it stops early on cancel or shutdown).
+    first_level: usize,
+    final_level: usize,
+    shared: Arc<RefineShared>,
+    cancel: Arc<AtomicBool>,
+}
+
 /// Everything behind the service's single state lock. Workers hold the
 /// lock only for queue/cache/table operations — never while a backend
 /// runs.
 struct State {
-    queue: VecDeque<Task>,
+    queue: VecDeque<Work>,
     cache: LruCache,
     inflight: HashMap<u128, Arc<Flight>>,
+    partial: PartialSumCache,
     submitted: u64,
     executed: u64,
     dedup_joins: u64,
     queue_high_water: usize,
     per_backend: BTreeMap<&'static str, BackendStats>,
+    refinements: u64,
+    refine_levels_completed: BTreeMap<usize, u64>,
+    refine_levels_from_cache: u64,
+    refine_active: usize,
+    refine_high_water: usize,
+    refine_cancelled: u64,
+    /// EWMA of observed refinement throughput (patterns/second), used
+    /// to convert deadlines into pattern budgets. `0.0` until the
+    /// first fresh level completes (the default rate applies then).
+    refine_rate_pps: f64,
     shutdown: bool,
+}
+
+impl State {
+    /// Folds one fresh level's throughput into the deadline-conversion
+    /// EWMA (α = 0.3; the first sample seeds it).
+    fn observe_refine_rate(&mut self, patterns: usize, seconds: f64) {
+        if patterns == 0 {
+            return;
+        }
+        let sample = patterns as f64 / seconds.max(1e-9);
+        self.refine_rate_pps = if self.refine_rate_pps > 0.0 {
+            0.7 * self.refine_rate_pps + 0.3 * sample
+        } else {
+            sample
+        };
+    }
 }
 
 struct Shared {
@@ -256,6 +345,9 @@ struct Shared {
     space: Condvar,
     queue_capacity: usize,
     engines: Vec<SharedBackend>,
+    /// Options every refinement runs under (strategy/threads are part
+    /// of the partial-sum cache key; see [`partial_sum_key`]).
+    refine_opts: ApproxOptions,
 }
 
 impl Shared {
@@ -276,8 +368,10 @@ pub struct ServiceBuilder {
     workers: usize,
     cache_capacity: usize,
     queue_capacity: usize,
+    partial_cache_capacity: usize,
     route: Route,
     engines: Vec<SharedBackend>,
+    refine_opts: ApproxOptions,
 }
 
 /// One default-configured instance of every engine in the workspace —
@@ -299,8 +393,10 @@ impl Default for ServiceBuilder {
             workers: 2,
             cache_capacity: 256,
             queue_capacity: 1024,
+            partial_cache_capacity: 128,
             route: Route::Auto,
             engines: default_engines(),
+            refine_opts: ApproxOptions::default(),
         }
     }
 }
@@ -350,6 +446,24 @@ impl ServiceBuilder {
         self
     }
 
+    /// Partial-sum cache capacity in *jobs* (each entry holds one
+    /// job's per-level prefix); `0` disables resume-from-cache.
+    pub fn partial_cache_capacity(mut self, capacity: usize) -> Self {
+        self.partial_cache_capacity = capacity;
+        self
+    }
+
+    /// The [`ApproxOptions`] every [`Service::submit_refine`]
+    /// refinement runs under. The `level` field is ignored (the
+    /// request's budget and `max_level` choose levels); `max_terms`
+    /// caps the deepest level the service will ever escalate to, and
+    /// `strategy`/`threads` select the (bit-affecting) contraction
+    /// configuration the partial-sum cache is keyed by.
+    pub fn refine_options(mut self, opts: ApproxOptions) -> Self {
+        self.refine_opts = opts;
+        self
+    }
+
     /// Spawns the worker pool and returns the running service.
     pub fn build(self) -> Service {
         let shared = Arc::new(Shared {
@@ -357,17 +471,26 @@ impl ServiceBuilder {
                 queue: VecDeque::new(),
                 cache: LruCache::new(self.cache_capacity),
                 inflight: HashMap::new(),
+                partial: PartialSumCache::new(self.partial_cache_capacity),
                 submitted: 0,
                 executed: 0,
                 dedup_joins: 0,
                 queue_high_water: 0,
                 per_backend: BTreeMap::new(),
+                refinements: 0,
+                refine_levels_completed: BTreeMap::new(),
+                refine_levels_from_cache: 0,
+                refine_active: 0,
+                refine_high_water: 0,
+                refine_cancelled: 0,
+                refine_rate_pps: 0.0,
                 shutdown: false,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
             queue_capacity: self.queue_capacity,
             engines: self.engines,
+            refine_opts: self.refine_opts,
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -465,16 +588,116 @@ impl Service {
             return Err(err);
         }
         state.submitted += 1;
-        state.queue.push_back(Task {
+        state.queue.push_back(Work::Expect(Task {
             key,
             route,
             spec: spec.clone(),
             flight: Arc::clone(&flight),
-        });
+        }));
         state.queue_high_water = state.queue_high_water.max(state.queue.len());
         drop(state);
         self.shared.work.notify_one();
         Ok(JobHandle { flight })
+    }
+
+    /// Submits an anytime refinement: the job's pattern sum is
+    /// computed level by level under the builder's
+    /// [`refine options`](ServiceBuilder::refine_options), answering
+    /// first at the deepest level whose *uncached* cost fits the
+    /// request's budget and escalating the remaining levels in the
+    /// background. Every completed level streams through the returned
+    /// [`RefinementHandle`]; cached per-level partial sums make a
+    /// resubmission resume where the last run stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`QnsError::InvalidJob`] after shutdown or for a `NaN`
+    /// deadline; [`QnsError::TermBudgetExceeded`] when even level 0
+    /// exceeds the refine options' `max_terms` guard. Execution errors
+    /// arrive on the handle.
+    pub fn submit_refine(
+        &self,
+        spec: &JobSpec,
+        req: &RefineRequest,
+    ) -> Result<RefinementHandle, QnsError> {
+        req.validate()?;
+        let opts = self.shared.refine_opts;
+        let n = spec.noisy().noise_count();
+        // Deepest level the options' term budget allows at all.
+        let mut feasible = None;
+        for level in 0..=n {
+            if qns_core::bounds::planned_patterns(n, level) <= opts.max_terms {
+                feasible = Some(level);
+            } else {
+                break;
+            }
+        }
+        let Some(feasible_cap) = feasible else {
+            return Err(QnsError::TermBudgetExceeded {
+                level: 0,
+                planned: 1,
+                max_terms: opts.max_terms,
+            });
+        };
+        let final_level = req.max_level.unwrap_or(n).min(n).min(feasible_cap);
+        let key = partial_sum_key(spec.fingerprint(), &opts).as_u128();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let progress = Arc::new(RefineShared::default());
+
+        let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(QnsError::InvalidJob {
+                reason: "service has shut down".into(),
+            });
+        }
+        // Deadline level: cached levels are free, so pricing happens
+        // against the cache as it stands at submission time.
+        let cached_levels = state.partial.peek_len(key);
+        let budget = req.resolved_budget(state.refine_rate_pps);
+        let first_level = deadline_level(n, final_level, cached_levels, budget);
+        while state.queue.len() >= self.shared.queue_capacity && !state.shutdown {
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .expect("service state poisoned");
+        }
+        // Same post-backpressure re-check as submit_routed: workers may
+        // have drained and exited while we waited for space.
+        if state.shutdown {
+            let err = QnsError::InvalidJob {
+                reason: "service shut down while awaiting queue space".into(),
+            };
+            progress.finish(Some(err.clone()), false);
+            return Err(err);
+        }
+        state.submitted += 1;
+        state.refinements += 1;
+        state.refine_active += 1;
+        state.refine_high_water = state.refine_high_water.max(state.refine_active);
+        state.queue.push_back(Work::Refine(RefineTask {
+            key,
+            spec: spec.clone(),
+            first_level,
+            final_level,
+            shared: Arc::clone(&progress),
+            cancel: Arc::clone(&cancel),
+        }));
+        state.queue_high_water = state.queue_high_water.max(state.queue.len());
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(RefinementHandle::new(
+            progress,
+            cancel,
+            first_level,
+            final_level,
+        ))
+    }
+
+    /// The options every refinement runs under (see
+    /// [`ServiceBuilder::refine_options`]).
+    pub fn refine_options(&self) -> &ApproxOptions {
+        &self.shared.refine_opts
     }
 
     /// A point-in-time snapshot of the service's counters.
@@ -490,6 +713,13 @@ impl Service {
             dedup_joins: state.dedup_joins,
             queue_high_water: state.queue_high_water,
             per_backend: state.per_backend.clone(),
+            refinements: state.refinements,
+            refine_levels_completed: state.refine_levels_completed.clone(),
+            refine_levels_from_cache: state.refine_levels_from_cache,
+            refine_active: state.refine_active,
+            refine_high_water: state.refine_high_water,
+            refine_cancelled: state.refine_cancelled,
+            partial_cache: state.partial.counters(),
         }
     }
 
@@ -539,12 +769,12 @@ impl Drop for Service {
 /// accepted submission resolves.
 fn worker_loop(shared: &Shared) {
     loop {
-        let task = {
+        let work = {
             let mut state = shared.lock();
             loop {
-                if let Some(task) = state.queue.pop_front() {
+                if let Some(work) = state.queue.pop_front() {
                     shared.space.notify_one();
-                    break Some(task);
+                    break Some(work);
                 }
                 if state.shutdown {
                     break None;
@@ -552,53 +782,161 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work.wait(state).expect("service state poisoned");
             }
         };
-        let Some(task) = task else { return };
-
-        // A panicking backend (custom engines arrive through
-        // `ServiceBuilder::with_engine`) must not kill the worker:
-        // that would strand the flight — every joined handle would
-        // hang in `wait()` forever — and silently shrink the pool.
-        // Contain it and resolve the flight with an error instead.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let job = task.spec.job();
-            match route_job(&shared.engines, &job, task.route) {
-                Ok(idx) => {
-                    let engine = &shared.engines[idx];
-                    let (result, seconds) = time_it(|| engine.expectation(&job));
-                    (result, Some((engine.name(), seconds)))
-                }
-                Err(e) => (Err(e), None),
-            }
-        }));
-        let (result, executed_on) = outcome.unwrap_or_else(|payload| {
-            let what = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            (
-                Err(QnsError::ExecutionPanicked {
-                    reason: format!("backend panicked: {what}"),
-                }),
-                None,
-            )
-        });
-
-        {
-            let mut state = shared.lock();
-            if let Some((name, seconds)) = executed_on {
-                state.executed += 1;
-                let backend = state.per_backend.entry(name).or_default();
-                backend.jobs += 1;
-                backend.seconds += seconds;
-            }
-            if let Ok(est) = &result {
-                state.cache.insert(task.key, est.clone());
-            }
-            state.inflight.remove(&task.key);
+        match work {
+            Some(Work::Expect(task)) => run_expectation(shared, task),
+            Some(Work::Refine(task)) => run_refinement(shared, task),
+            None => return,
         }
-        task.flight.fill(result);
     }
+}
+
+/// Executes one expectation task: route, execute (lock released),
+/// record, resolve.
+fn run_expectation(shared: &Shared, task: Task) {
+    // A panicking backend (custom engines arrive through
+    // `ServiceBuilder::with_engine`) must not kill the worker:
+    // that would strand the flight — every joined handle would
+    // hang in `wait()` forever — and silently shrink the pool.
+    // Contain it and resolve the flight with an error instead.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let job = task.spec.job();
+        match route_job(&shared.engines, &job, task.route) {
+            Ok(idx) => {
+                let engine = &shared.engines[idx];
+                let (result, seconds) = time_it(|| engine.expectation(&job));
+                (result, Some((engine.name(), seconds)))
+            }
+            Err(e) => (Err(e), None),
+        }
+    }));
+    let (result, executed_on) = outcome.unwrap_or_else(|payload| {
+        (
+            Err(QnsError::ExecutionPanicked {
+                reason: format!("backend panicked: {}", panic_reason(payload.as_ref())),
+            }),
+            None,
+        )
+    });
+
+    {
+        let mut state = shared.lock();
+        if let Some((name, seconds)) = executed_on {
+            state.executed += 1;
+            let backend = state.per_backend.entry(name).or_default();
+            backend.jobs += 1;
+            backend.seconds += seconds;
+        }
+        if let Ok(est) = &result {
+            state.cache.insert(task.key, est.clone());
+        }
+        state.inflight.remove(&task.key);
+    }
+    task.flight.fill(result);
+}
+
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Executes one refinement: install the cached level prefix, compute
+/// the remaining levels up to `final_level`, publish each completed
+/// level, and stop at a level boundary on cancel — or, once the
+/// promised `first_level` is in, on shutdown (the deadline answer is
+/// honoured even while draining; escalation past it is best-effort).
+fn run_refinement(shared: &Shared, task: RefineTask) {
+    // Same containment rationale as `run_expectation`: a panic must
+    // resolve the progress state, not strand every handle.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_refinement_inner(shared, &task)
+    }));
+    let (error, cancelled) = match outcome {
+        Ok(Ok(cancelled)) => (None, cancelled),
+        Ok(Err(e)) => (Some(e), false),
+        Err(payload) => (
+            Some(QnsError::ExecutionPanicked {
+                reason: format!("refinement panicked: {}", panic_reason(payload.as_ref())),
+            }),
+            false,
+        ),
+    };
+    // Retire the gauge BEFORE publishing completion: anyone who
+    // observes the refinement as done (via a handle wait) must also
+    // observe `refine_active` already decremented.
+    {
+        let mut state = shared.lock();
+        state.refine_active -= 1;
+        if cancelled {
+            state.refine_cancelled += 1;
+        }
+    }
+    task.shared.finish(error, cancelled);
+}
+
+/// The refinement loop proper; returns whether it stopped on a cancel.
+fn run_refinement_inner(shared: &Shared, task: &RefineTask) -> Result<bool, QnsError> {
+    let job = task.spec.job();
+    let mut refinement = Refinement::new(&job, &shared.refine_opts)?;
+    let cached = shared.lock().partial.probe(task.key);
+    let mut total_seconds = 0.0;
+    let mut cancelled = false;
+    while refinement.next_level() <= task.final_level {
+        let reached_first = refinement
+            .completed_level()
+            .is_some_and(|c| c >= task.first_level);
+        if task.cancel.load(Ordering::Relaxed) {
+            cancelled = true;
+            break;
+        }
+        if reached_first && shared.lock().shutdown {
+            break;
+        }
+        let level = refinement.next_level();
+        if level < cached.len() {
+            let partial =
+                refinement.install_level(cached[level].contribution, cached[level].patterns)?;
+            let estimate = refinement.estimate_for(&partial);
+            shared.lock().refine_levels_from_cache += 1;
+            task.shared.publish(RefinementUpdate {
+                partial,
+                estimate,
+                from_cache: true,
+            });
+        } else {
+            let (result, seconds) = time_it(|| refinement.advance());
+            let partial = result?;
+            total_seconds += seconds;
+            let estimate = refinement.estimate_for(&partial);
+            {
+                let mut state = shared.lock();
+                state.partial.record(
+                    task.key,
+                    level,
+                    LevelSum {
+                        contribution: partial.level_contribution,
+                        patterns: partial.level_patterns,
+                    },
+                );
+                *state.refine_levels_completed.entry(level).or_default() += 1;
+                state.observe_refine_rate(partial.level_patterns, seconds);
+            }
+            task.shared.publish(RefinementUpdate {
+                partial,
+                estimate,
+                from_cache: false,
+            });
+        }
+    }
+    {
+        let mut state = shared.lock();
+        let backend = state.per_backend.entry("refine").or_default();
+        backend.jobs += 1;
+        backend.seconds += total_seconds;
+    }
+    Ok(cancelled)
 }
 
 #[cfg(test)]

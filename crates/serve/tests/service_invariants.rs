@@ -268,6 +268,53 @@ fn shutdown_resolves_handles_that_joined_a_backpressured_flight() {
 }
 
 #[test]
+fn refinement_counters_stay_coherent_through_a_mixed_workload() {
+    // Satellite invariant: the anytime counters in the stats snapshot
+    // must reconcile with each other — fresh + cached level
+    // completions account for every published update, the active gauge
+    // drains to zero, and refine traffic leaves the one-shot counters
+    // untouched.
+    let service = ServiceBuilder::new().workers(2).build();
+    let spec = JobSpec::zeros(noisy(11));
+    let n = spec.noisy().noise_count();
+
+    // One fresh refinement, one resumed, interleaved with one-shots.
+    let a = service
+        .submit_refine(&spec, &qns_serve::RefineRequest::new())
+        .unwrap();
+    service
+        .submit(&spec_with_observable(5))
+        .unwrap()
+        .wait()
+        .unwrap();
+    a.wait_final().unwrap();
+    let b = service
+        .submit_refine(&spec, &qns_serve::RefineRequest::new())
+        .unwrap();
+    b.wait_final().unwrap();
+
+    let stats = service.stats();
+    assert_eq!(stats.refinements, 2);
+    assert_eq!(stats.refine_active, 0, "both refinements drained");
+    assert!(stats.refine_high_water >= 1);
+    assert_eq!(stats.refine_cancelled, 0);
+    // Every level published exactly once fresh (run a) and once from
+    // cache (run b).
+    let fresh: u64 = stats.refine_levels_completed.values().sum();
+    assert_eq!(fresh, (n + 1) as u64);
+    assert_eq!(stats.refine_levels_from_cache, (n + 1) as u64);
+    // Cache accounting: one miss (a), one hit (b).
+    assert_eq!(stats.partial_cache.hits + stats.partial_cache.misses, 2);
+    assert_eq!(stats.partial_cache_hit_rate(), 0.5);
+    // Refinements aggregate under the "refine" pseudo-backend and do
+    // not inflate the one-shot execution counter.
+    assert_eq!(stats.per_backend["refine"].jobs, 2);
+    assert_eq!(stats.executed, 1, "only the one-shot job executed");
+    // submitted counts refinements too.
+    assert_eq!(stats.submitted, 3);
+}
+
+#[test]
 fn queue_high_water_and_backpressure_are_observable() {
     // One worker, tiny queue: the high-water mark must reach the
     // configured bound while submissions keep succeeding (blocking,
