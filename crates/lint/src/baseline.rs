@@ -1,0 +1,110 @@
+//! The panic-freedom ratchet baseline: a committed text file mapping
+//! crate → allowed panic-site count. CI fails when a crate's measured
+//! count *rises* above its line here; shrinking is always legal (and
+//! `--update-baseline` rewrites the file to the new, lower reality).
+//!
+//! Format: one `<crate> <count>` pair per line, `#` comments and blank
+//! lines ignored, crates sorted. Kept deliberately diff-friendly — the
+//! whole point is that reviewers see `serve 31` → `serve 28` in the PR.
+
+use std::collections::BTreeMap;
+
+/// Parses baseline text. Unparseable lines are reported as errors, not
+/// skipped: a typo silently dropping a crate would un-ratchet it.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut map = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(krate), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "baseline line {}: expected `<crate> <count>`, got {line:?}",
+                lineno + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|e| format!("baseline line {}: bad count {count:?}: {e}", lineno + 1))?;
+        if map.insert(krate.to_string(), count).is_some() {
+            return Err(format!(
+                "baseline line {}: duplicate crate {krate:?}",
+                lineno + 1
+            ));
+        }
+    }
+    Ok(map)
+}
+
+/// Renders counts back to the committed format.
+pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# Panic-freedom ratchet: allowed `.unwrap()`/`.expect()`/`panic!` sites\n\
+         # per crate (library code, tests excluded). qns-lint fails when a count\n\
+         # rises; run `qns-lint --update-baseline` after genuinely removing sites.\n",
+    );
+    for (krate, count) in counts {
+        out.push_str(krate);
+        out.push(' ');
+        out.push_str(&count.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares measured counts against the baseline. Returns violation
+/// messages (empty = ratchet holds). A crate missing from the baseline
+/// has an implicit ceiling of 0, so new crates start panic-free.
+pub fn check(baseline: &BTreeMap<String, usize>, current: &BTreeMap<String, usize>) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (krate, &count) in current {
+        let allowed = baseline.get(krate).copied().unwrap_or(0);
+        if count > allowed {
+            violations.push(format!(
+                "panic ratchet: crate `{krate}` has {count} panic-prone sites, \
+                 baseline allows {allowed}; remove the new `.unwrap()`/`.expect()`/\
+                 `panic!` or annotate deliberate ones with `// qns-lint: allow(panic)`"
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut counts = BTreeMap::new();
+        counts.insert("core".to_string(), 12);
+        counts.insert("serve".to_string(), 3);
+        let parsed = parse(&render(&counts)).unwrap();
+        assert_eq!(parsed, counts);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse("serve").is_err());
+        assert!(parse("serve three").is_err());
+        assert!(parse("serve 1 extra").is_err());
+        assert!(parse("serve 1\nserve 2").is_err());
+        assert!(parse("# comment\n\nserve 1").is_ok());
+    }
+
+    #[test]
+    fn ratchet_only_fails_on_growth() {
+        let baseline = parse("core 5\nserve 3").unwrap();
+        let mut current = BTreeMap::new();
+        current.insert("core".to_string(), 5); // at ceiling: ok
+        current.insert("serve".to_string(), 2); // shrank: ok
+        assert!(check(&baseline, &current).is_empty());
+
+        current.insert("serve".to_string(), 4); // grew: violation
+        current.insert("newcrate".to_string(), 1); // unlisted: implicit 0
+        let violations = check(&baseline, &current);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: panic-ratchet counting. Library code below carries two
+//! countable sites and one suppressed one; everything in the test
+//! module is invisible to the ratchet.
+
+pub fn lib_code(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    if a == 255 {
+        panic!("saturated");
+    }
+    a
+}
+
+pub fn deliberate(x: Option<u8>) -> u8 {
+    // qns-lint: allow(panic)
+    x.expect("caller guarantees Some")
+}
+
+pub fn handling_is_not_panicking() -> bool {
+    std::panic::catch_unwind(|| ()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_here_is_free() {
+        assert_eq!(lib_code(Some(3)), 3);
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+        v.expect("still fine");
+    }
+}

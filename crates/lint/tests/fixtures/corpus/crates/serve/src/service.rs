@@ -1,0 +1,18 @@
+//! Fixture: lock-registry enforcement. One registered lock, one rogue
+//! name, one non-literal name, one raw primitive.
+
+pub fn build() {
+    let _ok = OrderedMutex::new("fixture.outer", 0u8);
+    let _rogue = OrderedMutex::new("fixture.rogue", 0u8);
+    let name = "fixture.inner";
+    let _dynamic = OrderedMutex::new(name, 0u8);
+    let _raw = std::sync::Mutex::new(0u8);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_locks_in_tests_are_fine() {
+        let _m = std::sync::Mutex::new(1u8);
+    }
+}

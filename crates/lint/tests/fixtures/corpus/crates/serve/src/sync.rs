@@ -1,0 +1,10 @@
+//! Fixture: the lock registry source of truth, plus the raw
+//! primitives that only this file may touch.
+
+use std::sync::Mutex;
+
+pub const LOCK_ORDER: &[&str] = &["fixture.outer", "fixture.inner"];
+
+pub struct OrderedMutex<T> {
+    inner: Mutex<T>,
+}

@@ -1,0 +1,20 @@
+//! Fixture: zero-alloc annotation enforcement.
+
+// qns-lint: zero-alloc
+pub fn hot(xs: &mut [u8], scratch: &mut Vec<u8>) {
+    scratch.clear();
+    scratch.extend_from_slice(xs);
+    let doubled: Vec<u8> = xs.iter().map(|b| b * 2).collect();
+    xs.copy_from_slice(&doubled[..xs.len()]);
+}
+
+// qns-lint: zero-alloc
+pub fn clean(xs: &mut [u8]) {
+    for b in xs.iter_mut() {
+        *b = b.wrapping_add(1);
+    }
+}
+
+pub fn unannotated() -> Vec<u8> {
+    Vec::with_capacity(16)
+}

@@ -1,0 +1,26 @@
+//! Fixture: a determinism-path file with seeded violations.
+//! Mentioning HashMap in this comment must NOT fire the rule.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn keyed() -> usize {
+    let m: HashMap<u8, u8> = HashMap::new(); // qns-lint: allow(determinism)
+    let t = Instant::now();
+    m.len() + t.elapsed().as_secs() as usize
+}
+
+pub fn strings_do_not_trip() -> &'static str {
+    "HashMap Instant SystemTime"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_side_hashmap_is_fine() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

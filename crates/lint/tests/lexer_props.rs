@@ -1,0 +1,147 @@
+//! Property tests for the lexer's core soundness claim: text inside
+//! comments and string literals can never surface as identifier
+//! tokens, no matter what it says. Every rule in the engine keys off
+//! identifiers, so this is exactly the "no false positives from
+//! prose" guarantee.
+
+use proptest::prelude::*;
+use qns_lint::lexer::{lex, TokKind};
+
+/// Words deliberately chosen to look like rule triggers, plus
+/// structural noise (quotes, escapes, comment markers) that the
+/// context-specific sanitizers below neutralize where required.
+const WORDS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "SystemTime",
+    "unwrap",
+    "expect",
+    "panic!",
+    ".unwrap()",
+    "Mutex",
+    "OrderedMutex::new",
+    "vec!",
+    "collect",
+    "zero-alloc",
+    "{",
+    "}",
+    "\"",
+    "\\",
+    "'",
+    "/*",
+    "*/",
+    "//",
+    "#",
+    "r#\"",
+];
+
+/// A random space-joined sentence over [`WORDS`].
+fn payload_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..WORDS.len(), 12)
+        .prop_map(|idx| idx.iter().map(|&i| WORDS[i]).collect::<Vec<_>>().join(" "))
+}
+
+/// Identifier tokens the rules would key off.
+fn trigger_idents(src: &str) -> Vec<String> {
+    lex(src)
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .filter(|t| {
+            matches!(
+                t.as_str(),
+                "HashMap"
+                    | "HashSet"
+                    | "Instant"
+                    | "SystemTime"
+                    | "unwrap"
+                    | "expect"
+                    | "panic"
+                    | "Mutex"
+                    | "OrderedMutex"
+                    | "collect"
+                    | "vec"
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn line_comments_never_yield_trigger_idents(payload in payload_strategy()) {
+        // A line comment runs to the newline; nothing inside it may
+        // become an identifier. (No newline can appear: WORDS has none.)
+        let src = format!("let a = 1; // {payload}\nlet b = 2;\n");
+        prop_assert_eq!(trigger_idents(&src), Vec::<String>::new());
+        // The surrounding real code still lexes.
+        let ids: Vec<String> = lex(&src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        prop_assert!(ids.contains(&"a".to_string()) && ids.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn block_comments_never_yield_trigger_idents(payload in payload_strategy()) {
+        // `*/` inside the payload would close the comment early and
+        // `/*` would nest it deeper; neutralize the closer, keep the
+        // rest. An unmatched `/*` legally swallows the tail of the
+        // file — the property still holds.
+        let safe = payload.replace("*/", "^/");
+        let src = format!("let a = 1; /* {safe} */ let b = 2;\n");
+        prop_assert_eq!(trigger_idents(&src), Vec::<String>::new());
+    }
+
+    #[test]
+    fn string_literals_never_yield_trigger_idents(payload in payload_strategy()) {
+        // Unescaped quotes/backslashes would end the literal early.
+        let safe = payload.replace('\\', "/").replace('"', "'");
+        let src = format!("let s = \"{safe}\";\nlet b = 2;\n");
+        prop_assert_eq!(trigger_idents(&src), Vec::<String>::new());
+        // The literal's content comes back verbatim as one Str token.
+        let strs: Vec<String> = lex(&src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        prop_assert_eq!(strs, vec![safe]);
+    }
+
+    #[test]
+    fn raw_strings_never_yield_trigger_idents(payload in payload_strategy()) {
+        // A one-# raw string tolerates bare quotes and backslashes;
+        // only the exact `"#` closer must not appear in the payload.
+        let safe = payload.replace("\"#", "\"+");
+        let src = format!("let s = r#\"{safe}\"#;\nlet b = 2;\n");
+        prop_assert_eq!(trigger_idents(&src), Vec::<String>::new());
+        let strs: Vec<String> = lex(&src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        prop_assert_eq!(strs, vec![safe]);
+    }
+
+    #[test]
+    fn code_outside_trivia_is_always_seen(noise in payload_strategy()) {
+        // The dual property: a genuine `.unwrap()` call next to
+        // arbitrary commented noise is still tokenized as `.` +
+        // `unwrap`. Both comment delimiters are neutralized so the
+        // comment closes exactly where written.
+        let safe = noise.replace("*/", "^/").replace("/*", "/^");
+        let src = format!("/* {safe} */ fn f(x: Option<u8>) -> u8 {{ x.unwrap() }}\n");
+        let lexed = lex(&src);
+        let hit = lexed.toks.windows(2).any(|w| {
+            w[0].is_punct('.') && w[1].is_ident("unwrap")
+        });
+        prop_assert!(hit, "unwrap call lost among comments: {}", src);
+    }
+}

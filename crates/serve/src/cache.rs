@@ -6,10 +6,17 @@
 //! observability over asymptotics: recency is a monotone tick per
 //! entry, eviction scans for the minimum tick — `O(capacity)` per
 //! eviction, which is noise next to any simulation this workspace
-//! runs and keeps the structure a single `HashMap`.
+//! runs and keeps the structure a single map.
+//!
+//! That map is a `BTreeMap` rather than a `HashMap` on purpose: the
+//! eviction scan iterates the map, and which entry survives decides
+//! which jobs later answer from cache. Recency ticks are unique today,
+//! but keeping the iteration key-ordered means the cache's observable
+//! behaviour can never silently become hash-order-dependent
+//! (`qns-lint`'s `determinism` rule pins this file to that contract).
 
 use qns_api::Estimate;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Hit/miss/eviction counters of one cache (monotone over its life).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -54,7 +61,7 @@ impl CacheCounters {
 pub struct LruCache {
     capacity: usize,
     tick: u64,
-    entries: HashMap<u128, (Estimate, u64)>,
+    entries: BTreeMap<u128, (Estimate, u64)>,
     counters: CacheCounters,
 }
 
@@ -66,7 +73,7 @@ impl LruCache {
         LruCache {
             capacity,
             tick: 0,
-            entries: HashMap::with_capacity(capacity.min(1024)),
+            entries: BTreeMap::new(),
             counters: CacheCounters::default(),
         }
     }

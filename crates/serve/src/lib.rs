@@ -63,6 +63,7 @@ pub mod cache;
 pub mod refine;
 pub mod router;
 mod service;
+pub mod sync;
 
 pub use cache::{CacheCounters, LruCache};
 pub use refine::{LevelSum, RefineRequest, RefinementHandle, RefinementUpdate};
@@ -70,6 +71,7 @@ pub use router::{route_job, Route, SharedBackend};
 pub use service::{
     default_engines, BackendStats, JobHandle, JobSpec, Service, ServiceBuilder, ServiceStats,
 };
+pub use sync::{OrderedCondvar, OrderedMutex, OrderedMutexGuard, LOCK_ORDER};
 
 // Re-exported so service code can be written against one crate.
 pub use qns_api::{Estimate, Fingerprint, PartialEstimate, QnsError};

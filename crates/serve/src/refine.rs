@@ -18,10 +18,11 @@
 //! will read); [`RefinementHandle::cancel`] does the same explicitly.
 
 use crate::cache::CacheCounters;
+use crate::sync::{OrderedCondvar, OrderedMutex};
 use qns_api::{Estimate, PartialEstimate, QnsError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 /// Default patterns-per-second throughput assumed for deadline →
 /// pattern-budget conversion before the service has measured a level
@@ -149,11 +150,17 @@ pub struct LevelSum {
 /// [`qns_api::partial_sum_key`]-derived 128-bit keys. Each entry is a
 /// contiguous level prefix `T_0 … T_k`; resuming installs the prefix
 /// and computes only the new levels.
+///
+/// Entries live in a `BTreeMap`, not a `HashMap`: the eviction scan
+/// iterates the map, and partial sums feed bit-reproducible estimates,
+/// so even tie-breaking between equally stale entries must not depend
+/// on hash iteration order (`qns-lint`'s `determinism` rule enforces
+/// this file-wide).
 #[derive(Debug)]
 pub(crate) struct PartialSumCache {
     capacity: usize,
     tick: u64,
-    entries: HashMap<u128, (Vec<LevelSum>, u64)>,
+    entries: BTreeMap<u128, (Vec<LevelSum>, u64)>,
     counters: CacheCounters,
 }
 
@@ -162,7 +169,7 @@ impl PartialSumCache {
         PartialSumCache {
             capacity,
             tick: 0,
-            entries: HashMap::with_capacity(capacity.min(1024)),
+            entries: BTreeMap::new(),
             counters: CacheCounters::default(),
         }
     }
@@ -259,16 +266,25 @@ struct RefineProgress {
 }
 
 /// The worker/handle rendezvous for one refinement.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct RefineShared {
-    progress: Mutex<RefineProgress>,
-    advanced: Condvar,
+    progress: OrderedMutex<RefineProgress>,
+    advanced: OrderedCondvar,
+}
+
+impl Default for RefineShared {
+    fn default() -> Self {
+        RefineShared {
+            progress: OrderedMutex::new("refine.progress", RefineProgress::default()),
+            advanced: OrderedCondvar::new(),
+        }
+    }
 }
 
 impl RefineShared {
     /// Publishes one completed level and wakes every waiter.
     pub(crate) fn publish(&self, update: RefinementUpdate) {
-        let mut progress = self.progress.lock().expect("refine progress poisoned");
+        let mut progress = self.progress.lock_or_recover();
         debug_assert_eq!(
             progress.updates.len(),
             update.partial.level,
@@ -280,7 +296,7 @@ impl RefineShared {
 
     /// Marks the refinement finished and wakes every waiter.
     pub(crate) fn finish(&self, error: Option<QnsError>, cancelled: bool) {
-        let mut progress = self.progress.lock().expect("refine progress poisoned");
+        let mut progress = self.progress.lock_or_recover();
         progress.done = true;
         progress.error = error;
         progress.cancelled = cancelled;
@@ -365,11 +381,7 @@ impl RefinementHandle {
     /// it stopped (cancelled / shut down / finished) before reaching
     /// `level`.
     pub fn wait_level(&self, level: usize) -> Result<RefinementUpdate, QnsError> {
-        let mut progress = self
-            .shared
-            .progress
-            .lock()
-            .expect("refine progress poisoned");
+        let mut progress = self.shared.progress.lock_or_recover();
         loop {
             if let Some(update) = progress.updates.get(level) {
                 return Ok(update.clone());
@@ -377,11 +389,7 @@ impl RefinementHandle {
             if progress.done {
                 return Err(Self::stop_error(&progress, level));
             }
-            progress = self
-                .shared
-                .advanced
-                .wait(progress)
-                .expect("refine progress poisoned");
+            progress = self.shared.advanced.wait(progress);
         }
     }
 
@@ -395,17 +403,9 @@ impl RefinementHandle {
     /// The terminal error if the refinement failed before completing
     /// any level.
     pub fn wait_final(&self) -> Result<RefinementUpdate, QnsError> {
-        let mut progress = self
-            .shared
-            .progress
-            .lock()
-            .expect("refine progress poisoned");
+        let mut progress = self.shared.progress.lock_or_recover();
         while !progress.done {
-            progress = self
-                .shared
-                .advanced
-                .wait(progress)
-                .expect("refine progress poisoned");
+            progress = self.shared.advanced.wait(progress);
         }
         match progress.updates.last() {
             Some(update) => Ok(update.clone()),
@@ -430,8 +430,7 @@ impl RefinementHandle {
     pub fn latest(&self) -> Option<RefinementUpdate> {
         self.shared
             .progress
-            .lock()
-            .expect("refine progress poisoned")
+            .lock_or_recover()
             .updates
             .last()
             .cloned()
@@ -439,21 +438,12 @@ impl RefinementHandle {
 
     /// Snapshot of every update published so far, in level order.
     pub fn updates(&self) -> Vec<RefinementUpdate> {
-        self.shared
-            .progress
-            .lock()
-            .expect("refine progress poisoned")
-            .updates
-            .clone()
+        self.shared.progress.lock_or_recover().updates.clone()
     }
 
     /// `true` once the refinement has stopped (no further updates).
     pub fn is_done(&self) -> bool {
-        self.shared
-            .progress
-            .lock()
-            .expect("refine progress poisoned")
-            .done
+        self.shared.progress.lock_or_recover().done
     }
 
     /// Requests cancellation: the worker stops escalating at the next

@@ -37,6 +37,7 @@ use crate::refine::{
     RefinementUpdate,
 };
 use crate::router::{route_job, Route, SharedBackend};
+use crate::sync::{OrderedCondvar, OrderedMutex, OrderedMutexGuard};
 use qns_api::{
     partial_sum_key, ApproxBackend, ApproxOptions, DensityBackend, Estimate, ExpectationJob,
     Fingerprint, InitialState, MpoBackend, Observable, QnsError, Refinement, TddBackend,
@@ -46,7 +47,7 @@ use qns_core::timing::time_it;
 use qns_noise::NoisyCircuit;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// An owned, validated, fingerprinted expectation job — the queueable
@@ -116,44 +117,44 @@ impl JobSpec {
 /// joined it.
 #[derive(Debug)]
 struct Flight {
-    slot: Mutex<Option<Result<Estimate, QnsError>>>,
-    done: Condvar,
+    slot: OrderedMutex<Option<Result<Estimate, QnsError>>>,
+    done: OrderedCondvar,
 }
 
 impl Flight {
     fn pending() -> Arc<Flight> {
         Arc::new(Flight {
-            slot: Mutex::new(None),
-            done: Condvar::new(),
+            slot: OrderedMutex::new("flight.slot", None),
+            done: OrderedCondvar::new(),
         })
     }
 
     fn resolved(result: Result<Estimate, QnsError>) -> Arc<Flight> {
         Arc::new(Flight {
-            slot: Mutex::new(Some(result)),
-            done: Condvar::new(),
+            slot: OrderedMutex::new("flight.slot", Some(result)),
+            done: OrderedCondvar::new(),
         })
     }
 
     fn fill(&self, result: Result<Estimate, QnsError>) {
-        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        let mut slot = self.slot.lock_or_recover();
         debug_assert!(slot.is_none(), "a flight resolves exactly once");
         *slot = Some(result);
         self.done.notify_all();
     }
 
     fn wait(&self) -> Result<Estimate, QnsError> {
-        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        let mut slot = self.slot.lock_or_recover();
         loop {
             if let Some(result) = slot.as_ref() {
                 return result.clone();
             }
-            slot = self.done.wait(slot).expect("flight slot poisoned");
+            slot = self.done.wait(slot);
         }
     }
 
     fn try_get(&self) -> Option<Result<Estimate, QnsError>> {
-        self.slot.lock().expect("flight slot poisoned").clone()
+        self.slot.lock_or_recover().clone()
     }
 }
 
@@ -338,11 +339,11 @@ impl State {
 }
 
 struct Shared {
-    state: Mutex<State>,
+    state: OrderedMutex<State>,
     /// Workers wait here for queued tasks.
-    work: Condvar,
+    work: OrderedCondvar,
     /// Submitters wait here for queue space (backpressure).
-    space: Condvar,
+    space: OrderedCondvar,
     queue_capacity: usize,
     engines: Vec<SharedBackend>,
     /// Options every refinement runs under (strategy/threads are part
@@ -351,8 +352,8 @@ struct Shared {
 }
 
 impl Shared {
-    fn lock(&self) -> MutexGuard<'_, State> {
-        self.state.lock().expect("service state poisoned")
+    fn lock(&self) -> OrderedMutexGuard<'_, State> {
+        self.state.lock_or_recover()
     }
 }
 
@@ -467,27 +468,30 @@ impl ServiceBuilder {
     /// Spawns the worker pool and returns the running service.
     pub fn build(self) -> Service {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                cache: LruCache::new(self.cache_capacity),
-                inflight: HashMap::new(),
-                partial: PartialSumCache::new(self.partial_cache_capacity),
-                submitted: 0,
-                executed: 0,
-                dedup_joins: 0,
-                queue_high_water: 0,
-                per_backend: BTreeMap::new(),
-                refinements: 0,
-                refine_levels_completed: BTreeMap::new(),
-                refine_levels_from_cache: 0,
-                refine_active: 0,
-                refine_high_water: 0,
-                refine_cancelled: 0,
-                refine_rate_pps: 0.0,
-                shutdown: false,
-            }),
-            work: Condvar::new(),
-            space: Condvar::new(),
+            state: OrderedMutex::new(
+                "serve.state",
+                State {
+                    queue: VecDeque::new(),
+                    cache: LruCache::new(self.cache_capacity),
+                    inflight: HashMap::new(),
+                    partial: PartialSumCache::new(self.partial_cache_capacity),
+                    submitted: 0,
+                    executed: 0,
+                    dedup_joins: 0,
+                    queue_high_water: 0,
+                    per_backend: BTreeMap::new(),
+                    refinements: 0,
+                    refine_levels_completed: BTreeMap::new(),
+                    refine_levels_from_cache: 0,
+                    refine_active: 0,
+                    refine_high_water: 0,
+                    refine_cancelled: 0,
+                    refine_rate_pps: 0.0,
+                    shutdown: false,
+                },
+            ),
+            work: OrderedCondvar::new(),
+            space: OrderedCondvar::new(),
             queue_capacity: self.queue_capacity,
             engines: self.engines,
             refine_opts: self.refine_opts,
@@ -565,11 +569,7 @@ impl Service {
         let flight = Flight::pending();
         state.inflight.insert(key, Arc::clone(&flight));
         while state.queue.len() >= self.shared.queue_capacity && !state.shutdown {
-            state = self
-                .shared
-                .space
-                .wait(state)
-                .expect("service state poisoned");
+            state = self.shared.space.wait(state);
         }
         // The shutdown check must come AFTER the wait loop, not only
         // inside it: workers may drain the queue and exit (observing
@@ -656,11 +656,7 @@ impl Service {
         let budget = req.resolved_budget(state.refine_rate_pps);
         let first_level = deadline_level(n, final_level, cached_levels, budget);
         while state.queue.len() >= self.shared.queue_capacity && !state.shutdown {
-            state = self
-                .shared
-                .space
-                .wait(state)
-                .expect("service state poisoned");
+            state = self.shared.space.wait(state);
         }
         // Same post-backpressure re-check as submit_routed: workers may
         // have drained and exited while we waited for space.
@@ -779,7 +775,7 @@ fn worker_loop(shared: &Shared) {
                 if state.shutdown {
                     break None;
                 }
-                state = shared.work.wait(state).expect("service state poisoned");
+                state = shared.work.wait(state);
             }
         };
         match work {
@@ -1085,6 +1081,8 @@ mod tests {
     }
 
     #[test]
+    // The no-join fallback below narrates to stderr rather than failing.
+    #[allow(clippy::print_stderr)]
     fn dedup_joins_do_not_count_as_cache_misses() {
         // Saturate a single worker so a second identical submission
         // joins the first in-flight execution instead of probing the

@@ -1,0 +1,358 @@
+//! Ordered, poisoning-tolerant lock primitives and the serve lock
+//! registry.
+//!
+//! Every `Mutex`/`Condvar` in this crate goes through [`OrderedMutex`]
+//! and [`OrderedCondvar`], which buy two things over the raw std
+//! types:
+//!
+//! * **Poison recovery** — [`OrderedMutex::lock_or_recover`] recovers
+//!   the inner value from a poisoned lock instead of panicking. A
+//!   worker that panics while holding a lock (contained by the
+//!   service's `catch_unwind` harness) must not cascade
+//!   poisoned-lock panics into every handle that later waits on the
+//!   same flight; all serve state is counters/queues that stay
+//!   internally consistent under panic-at-any-line, so recovery is
+//!   safe.
+//! * **Dynamic lock-order checking** (debug builds only) — every lock
+//!   carries a name from [`LOCK_ORDER`]; acquisitions maintain a
+//!   per-thread stack of held names and a global acquired-before
+//!   graph over names. Acquiring `b` while holding `a` records the
+//!   edge `a → b`; if the reverse path `b → … → a` was ever observed
+//!   (on any thread, over the process lifetime), the acquisition
+//!   panics with both lock names and the full held stack — turning a
+//!   latent lock-inversion deadlock into a deterministic test
+//!   failure. Release builds compile the checker out entirely:
+//!   `lock_or_recover` is then just `lock` + poison recovery.
+//!
+//! The static side of the same contract is enforced by `qns-lint`'s
+//! `lock-registry` rule: every lock constructed in this crate must
+//! name an entry of [`LOCK_ORDER`], so the registry below is the
+//! single, reviewable list of serve locks and their intended
+//! acquired-before order.
+//!
+//! **Name = equivalence class.** The checker orders lock *names*, not
+//! instances: every `Flight` shares `"flight.slot"`. Two same-named
+//! locks must therefore never nest (the checker treats self-nesting
+//! as an inversion) — true for every lock below, which are all
+//! leaf-per-object or singleton.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// The declared acquired-before order of every lock in `qns-serve`,
+/// outermost first. A thread may only acquire locks consistently with
+/// one global order; the dynamic checker learns the order actually
+/// exercised and panics on any cycle, while this list documents (and
+/// names) the intended one:
+///
+/// 1. `serve.state` — the service's single state lock (queue, caches,
+///    single-flight table, counters). Outermost: held while resolving
+///    flights and publishing refine progress on the shutdown paths.
+/// 2. `flight.slot` — one per [`crate::JobHandle`] flight; a leaf
+///    lock for result publication/wait.
+/// 3. `refine.progress` — one per refinement; a leaf lock for the
+///    level-update stream.
+pub const LOCK_ORDER: &[&str] = &["serve.state", "flight.slot", "refine.progress"];
+
+/// A [`Mutex`] wrapper with a registered name, poison recovery, and
+/// (in debug builds) dynamic acquisition-order checking. See the
+/// module docs for the protocol.
+#[derive(Debug, Default)]
+pub struct OrderedMutex<T> {
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wraps `value` under the registry entry `name`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when `name` is not in [`LOCK_ORDER`] — the
+    /// runtime counterpart of the `qns-lint` `lock-registry` rule.
+    pub fn new(name: &'static str, value: T) -> Self {
+        debug_assert!(
+            LOCK_ORDER.contains(&name),
+            "lock name `{name}` is not declared in qns_serve::sync::LOCK_ORDER"
+        );
+        OrderedMutex {
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The registry name this lock was constructed under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires the lock, recovering the inner value if a previous
+    /// holder panicked (see the module docs for why that is sound
+    /// here). In debug builds, first records the acquisition in the
+    /// lock-order checker.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when this acquisition closes a cycle in the
+    /// global acquired-before graph (a lock-order inversion).
+    pub fn lock_or_recover(&self) -> OrderedMutexGuard<'_, T> {
+        checker::acquire(self.name);
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        OrderedMutexGuard {
+            name: self.name,
+            guard: Some(guard),
+        }
+    }
+}
+
+/// The guard returned by [`OrderedMutex::lock_or_recover`]; releases
+/// the mutex and pops the checker's held-lock stack on drop.
+#[derive(Debug)]
+pub struct OrderedMutexGuard<'a, T> {
+    name: &'static str,
+    /// `Some` between acquisition and drop; taken only transiently
+    /// inside [`OrderedCondvar::wait`] while the thread is blocked.
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard held") // qns-lint: allow(panic)
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard held") // qns-lint: allow(panic)
+    }
+}
+
+impl<T> Drop for OrderedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the mutex before popping the held stack, so the
+        // checker never claims we hold a lock we have let go of.
+        if self.guard.take().is_some() {
+            checker::release(self.name);
+        }
+    }
+}
+
+/// A [`Condvar`] companion to [`OrderedMutex`]: waiting pops the
+/// held-lock stack while the thread is blocked and re-registers the
+/// re-acquisition on wake-up, and poisoning is recovered exactly as in
+/// [`OrderedMutex::lock_or_recover`].
+#[derive(Debug, Default)]
+pub struct OrderedCondvar {
+    inner: Condvar,
+}
+
+impl OrderedCondvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        OrderedCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard`'s mutex and blocks until notified;
+    /// re-acquires (and re-registers) the lock before returning.
+    pub fn wait<'a, T>(&self, mut guard: OrderedMutexGuard<'a, T>) -> OrderedMutexGuard<'a, T> {
+        let raw = guard.guard.take().expect("guard held"); // qns-lint: allow(panic)
+                                                           // Blocked threads hold nothing: pop before sleeping, re-check
+                                                           // and re-push on wake (the wake-up re-acquisition is an
+                                                           // acquisition like any other for ordering purposes).
+        checker::release(guard.name);
+        let raw = self.inner.wait(raw).unwrap_or_else(PoisonError::into_inner);
+        checker::acquire(guard.name);
+        guard.guard = Some(raw);
+        guard
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// The debug-build lock-order checker: a per-thread held stack plus a
+/// process-global acquired-before graph over registry names.
+#[cfg(debug_assertions)]
+mod checker {
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::{Mutex, PoisonError};
+
+    thread_local! {
+        /// Names of the locks this thread currently holds, in
+        /// acquisition order (innermost last).
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Every acquired-before edge `a → b` observed on any thread.
+    /// The checker's own lock is a raw std mutex, not an
+    /// [`super::OrderedMutex`] — it must not recurse into itself.
+    // qns-lint: allow(lock-registry)
+    static EDGES: Mutex<BTreeMap<&'static str, BTreeSet<&'static str>>> =
+        Mutex::new(BTreeMap::new());
+
+    /// `true` when `from →* to` already holds in the edge graph.
+    fn reaches(
+        edges: &BTreeMap<&'static str, BTreeSet<&'static str>>,
+        from: &'static str,
+        to: &'static str,
+    ) -> bool {
+        let mut visited = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(node) = stack.pop() {
+            if node == to {
+                return true;
+            }
+            if !visited.insert(node) {
+                continue;
+            }
+            if let Some(next) = edges.get(node) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Records the intent to acquire `name`, panicking if doing so
+    /// while holding the innermost lock would close a cycle in the
+    /// acquired-before graph. Runs *before* blocking on the mutex, so
+    /// an inversion panics deterministically instead of deadlocking
+    /// when the adversarial schedule actually interleaves.
+    pub(super) fn acquire(name: &'static str) {
+        let innermost = HELD.with(|h| h.borrow().last().copied());
+        if let Some(held) = innermost {
+            // Only the innermost edge is recorded: transitive order
+            // through the rest of the stack is already in the graph
+            // from the acquisitions that built the stack.
+            let mut edges = EDGES.lock().unwrap_or_else(PoisonError::into_inner);
+            if held == name || reaches(&edges, name, held) {
+                let stack = HELD.with(|h| h.borrow().clone());
+                drop(edges);
+                panic!(
+                    "lock-order inversion: acquiring `{name}` while holding `{held}` \
+                     (full held stack: {stack:?}), but the reverse order \
+                     `{name}` → … → `{held}` was previously observed; declared \
+                     order is qns_serve::sync::LOCK_ORDER = {:?}",
+                    super::LOCK_ORDER
+                );
+            }
+            edges.entry(held).or_default().insert(name);
+        }
+        HELD.with(|h| h.borrow_mut().push(name));
+    }
+
+    /// Pops the most recent acquisition of `name` off the held stack.
+    pub(super) fn release(name: &'static str) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&n| n == name) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Release builds: ordering is not checked, the wrappers are plain
+/// poison-recovering locks with zero bookkeeping.
+#[cfg(not(debug_assertions))]
+mod checker {
+    pub(super) fn acquire(_name: &'static str) {}
+    pub(super) fn release(_name: &'static str) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_or_recover_survives_a_poisoning_panic() {
+        let lock = std::sync::Arc::new(OrderedMutex::new("flight.slot", 7u32));
+        let poisoner = std::sync::Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let mut g = poisoner.lock_or_recover();
+            *g = 8;
+            panic!("poison the lock");
+        })
+        .join();
+        // The raw std mutex is now poisoned; recovery still reads the
+        // (consistent) value the panicking thread left behind.
+        assert_eq!(*lock.lock_or_recover(), 8);
+    }
+
+    #[test]
+    fn condvar_roundtrip_releases_and_reacquires() {
+        let pair = std::sync::Arc::new((
+            OrderedMutex::new("serve.state", false),
+            OrderedCondvar::new(),
+        ));
+        let notifier = std::sync::Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*notifier;
+            *lock.lock_or_recover() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut g = lock.lock_or_recover();
+        while !*g {
+            g = cv.wait(g);
+        }
+        drop(g);
+        t.join().expect("notifier");
+    }
+
+    /// The seeded-inversion stress test the tentpole requires: one
+    /// ordering is established, the inverted acquisition must panic
+    /// (in debug builds, where the checker is live) rather than
+    /// silently arming a deadlock.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn seeded_lock_inversion_is_caught() {
+        let a = OrderedMutex::new("flight.slot", ());
+        let b = OrderedMutex::new("refine.progress", ());
+        // Establish flight.slot → refine.progress.
+        {
+            let _ga = a.lock_or_recover();
+            let _gb = b.lock_or_recover();
+        }
+        // The inverted order must be rejected even though no other
+        // thread currently holds either lock — the graph remembers.
+        let inverted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gb = b.lock_or_recover();
+            let _ga = a.lock_or_recover();
+        }));
+        let err = inverted.expect_err("inverted acquisition must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("flight.slot") && msg.contains("refine.progress"),
+            "panic message must name both locks: {msg}"
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn self_nesting_a_lock_name_is_caught() {
+        let a = OrderedMutex::new("refine.progress", 0u8);
+        let b = OrderedMutex::new("refine.progress", 1u8);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ga = a.lock_or_recover();
+            let _gb = b.lock_or_recover();
+        }));
+        assert!(caught.is_err(), "same-name nesting must be rejected");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn unregistered_lock_names_are_rejected() {
+        let res = std::panic::catch_unwind(|| OrderedMutex::new("not.in.registry", ()));
+        assert!(res.is_err(), "unregistered names must be rejected");
+    }
+}

@@ -20,7 +20,7 @@ use qns_circuit::Circuit;
 use qns_linalg::{Complex64, Matrix};
 use qns_noise::NoisyCircuit;
 use qns_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A product state `⊗_q (a_q|0⟩ + b_q|1⟩)` — the input/test states of
 /// the paper's experiments (computational basis states and local
@@ -366,7 +366,7 @@ pub fn double_network(
     noisy: &NoisyCircuit,
     psi: &ProductState,
     v: &ProductState,
-    replacements: &HashMap<usize, (Matrix, Matrix)>,
+    replacements: &BTreeMap<usize, (Matrix, Matrix)>,
 ) -> TensorNetwork {
     double_network_impl(noisy, psi, v, replacements).0
 }
@@ -378,8 +378,8 @@ fn double_network_impl(
     noisy: &NoisyCircuit,
     psi: &ProductState,
     v: &ProductState,
-    replacements: &HashMap<usize, (Matrix, Matrix)>,
-) -> (TensorNetwork, HashMap<usize, (NodeId, NodeId)>) {
+    replacements: &BTreeMap<usize, (Matrix, Matrix)>,
+) -> (TensorNetwork, BTreeMap<usize, (NodeId, NodeId)>) {
     let circuit = noisy.circuit();
     let n = circuit.n_qubits();
     assert_eq!(psi.n_qubits(), n, "input state size mismatch");
@@ -403,7 +403,7 @@ fn double_network_impl(
         );
     }
 
-    let mut replacement_nodes: HashMap<usize, (NodeId, NodeId)> = HashMap::new();
+    let mut replacement_nodes: BTreeMap<usize, (NodeId, NodeId)> = BTreeMap::new();
 
     // Initial noise events (before any gate).
     for (idx_off, e) in noisy.initial_events().iter().enumerate() {
@@ -510,7 +510,7 @@ impl DoubleSkeleton {
     pub fn new(noisy: &NoisyCircuit, psi: &ProductState, v: &ProductState) -> Self {
         let n_slots = noisy.events().len() + noisy.initial_events().len();
         let eye = Matrix::identity(2);
-        let placeholders: HashMap<usize, (Matrix, Matrix)> = (0..n_slots)
+        let placeholders: BTreeMap<usize, (Matrix, Matrix)> = (0..n_slots)
             .map(|k| (k, (eye.clone(), eye.clone())))
             .collect();
         let (net, by_key) = double_network_impl(noisy, psi, v, &placeholders);
@@ -760,7 +760,7 @@ mod tests {
             qns_circuit::Gate::T.matrix(),
             Matrix::identity(2),
         ];
-        let mut repl = HashMap::new();
+        let mut repl = BTreeMap::new();
         for key in 0..3usize {
             let (a, b) = (subs[key].clone(), subs[(key + 1) % 3].conj());
             skel.set_replacement(key, &a, &b);
@@ -780,7 +780,7 @@ mod tests {
         let noisy = NoisyCircuit::noiseless(c.clone());
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0b111);
-        let net = double_network(&noisy, &psi, &v, &HashMap::new());
+        let net = double_network(&noisy, &psi, &v, &BTreeMap::new());
         let (t, _) = net.contract_all(OrderStrategy::Greedy);
         let val = t.scalar_value();
         // |⟨111|GHZ⟩|² = 1/2; the double network gives the probability.
@@ -793,7 +793,7 @@ mod tests {
         let noisy = NoisyCircuit::inject_random(ghz(3), &channels::amplitude_damping(0.2), 3, 5);
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0b111);
-        let net = double_network(&noisy, &psi, &v, &HashMap::new());
+        let net = double_network(&noisy, &psi, &v, &BTreeMap::new());
         let (t, _) = net.contract_all(OrderStrategy::Greedy);
         let tn_val = t.scalar_value().re;
 
@@ -817,14 +817,14 @@ mod tests {
         );
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, 0b000);
-        let mut repl = HashMap::new();
+        let mut repl = BTreeMap::new();
         repl.insert(0usize, (Matrix::identity(2), Matrix::identity(2)));
         let val = double_network(&noisy, &psi, &v, &repl)
             .contract_all(OrderStrategy::Greedy)
             .0
             .scalar_value()
             .re;
-        let clean = double_network(&NoisyCircuit::noiseless(c), &psi, &v, &HashMap::new())
+        let clean = double_network(&NoisyCircuit::noiseless(c), &psi, &v, &BTreeMap::new())
             .contract_all(OrderStrategy::Greedy)
             .0
             .scalar_value()

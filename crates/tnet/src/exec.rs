@@ -537,6 +537,7 @@ impl ExecutablePlan {
     /// other intermediate cached in the arena. Falls back to a full
     /// [`ExecutablePlan::run`] when `ws` is not warm for this plan.
     /// The returned stats count the steps actually executed.
+    // qns-lint: zero-alloc
     fn run_delta<'w, 'i>(
         &self,
         input: impl Fn(usize) -> &'i [Complex64],
@@ -591,6 +592,7 @@ impl ExecutablePlan {
     /// destination region is disjoint from every other slot region by
     /// construction (persistent bump layout), so a step only ever
     /// overwrites its own node's cache.
+    // qns-lint: zero-alloc
     fn exec_step<'i>(
         &self,
         step: &ExecStep,
@@ -657,6 +659,7 @@ impl ExecutablePlan {
     /// Final stage: copy/gather the root slot into the output buffer
     /// (applying the open-leg output permutation when present). Always
     /// rerun — even by delta replay, whose dirty set may be empty.
+    // qns-lint: zero-alloc
     fn finalize<'i>(
         &self,
         input: &impl Fn(usize) -> &'i [Complex64],
@@ -687,6 +690,7 @@ impl ExecutablePlan {
 /// buffer. Regions must be pairwise disjoint (the compile-time
 /// allocator guarantees this: the destination is carved out while both
 /// operands are still live).
+// qns-lint: zero-alloc
 #[allow(clippy::type_complexity)]
 fn split3<'a>(
     buf: &'a mut [Complex64],

@@ -10,7 +10,7 @@ use qns_linalg::Complex64;
 use qns_noise::NoisyCircuit;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The noiseless amplitude `⟨v|C|ψ⟩` by network contraction.
 pub fn amplitude(
@@ -42,7 +42,7 @@ pub fn expectation_with_stats(
     v: &ProductState,
     strategy: OrderStrategy,
 ) -> (f64, ContractionStats) {
-    let net = double_network(noisy, psi, v, &HashMap::new());
+    let net = double_network(noisy, psi, v, &BTreeMap::new());
     let (t, stats) = net.contract_all(strategy);
     (t.scalar_value().re, stats)
 }

@@ -12,6 +12,10 @@
 //!
 //! Run with: `cargo run --release --example fault_detection`
 
+// Examples narrate to stdout by design (workspace lints deny
+// print_stdout for library code only).
+#![allow(clippy::print_stdout)]
+
 use qns::circuit::generators::{qaoa_ring, QaoaRound};
 use qns::noise::NoiseEvent;
 use qns::prelude::*;

@@ -10,6 +10,10 @@
 //!
 //! Run with: `cargo run --release --example mpo_vs_svd`
 
+// Examples narrate to stdout by design (workspace lints deny
+// print_stdout for library code only).
+#![allow(clippy::print_stdout)]
+
 use qns::circuit::generators::{qaoa_ring, QaoaRound};
 use qns::mpo::MpoState;
 use qns::prelude::*;

@@ -12,6 +12,10 @@
 //!
 //! Run with: `cargo run --release --example qaoa_noise_study`
 
+// Examples narrate to stdout by design (workspace lints deny
+// print_stdout for library code only).
+#![allow(clippy::print_stdout)]
+
 use qns::circuit::generators::{qaoa_grid, QaoaRound};
 use qns::core::approx::append_ideal_inverse;
 use qns::core::bounds;

@@ -15,6 +15,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Examples narrate to stdout by design (workspace lints deny
+// print_stdout for library code only).
+#![allow(clippy::print_stdout)]
+
 use qns::circuit::generators::ghz;
 use qns::core::approx::append_ideal_inverse;
 use qns::core::bounds;

@@ -10,6 +10,10 @@
 //!
 //! Run with: `cargo run --release --example service_throughput`
 
+// Examples narrate to stdout by design (workspace lints deny
+// print_stdout for library code only).
+#![allow(clippy::print_stdout)]
+
 use qns::circuit::generators::{inst_grid, qaoa_grid_random};
 use qns::noise::{channels, NoisyCircuit};
 use qns::prelude::*;

@@ -10,6 +10,10 @@
 //!
 //! Run with: `cargo run --release --example supremacy_scan`
 
+// Examples narrate to stdout by design (workspace lints deny
+// print_stdout for library code only).
+#![allow(clippy::print_stdout)]
+
 use qns::circuit::generators::inst_grid;
 use qns::prelude::*;
 use std::time::Instant;

@@ -121,7 +121,7 @@ proptest! {
         // contraction to 1e-12 on random networks — both the single
         // amplitude network and the double noisy network, under both
         // order strategies.
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let noisy = NoisyCircuit::inject_random(c, &ch, 2, seed);
         let psi = ProductState::all_zeros(3);
         let v = ProductState::basis(3, v_bits);
@@ -138,7 +138,7 @@ proptest! {
             prop_assert_eq!(stats.order_searches, 0);
             prop_assert_eq!(fresh_stats.order_searches, 1);
 
-            let dbl_net = qns::tnet::builder::double_network(&noisy, &psi, &v, &HashMap::new());
+            let dbl_net = qns::tnet::builder::double_network(&noisy, &psi, &v, &BTreeMap::new());
             let plan = dbl_net.plan(strategy);
             let planned = plan.execute_network(&dbl_net).0.scalar_value();
             let fresh = dbl_net.contract_all(strategy).0.scalar_value();
