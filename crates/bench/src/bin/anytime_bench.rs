@@ -11,7 +11,9 @@
 //! `qns_serve::Service`: a fresh run budgeted to answer first at level
 //! `K`, then a resubmission that replays every level from the
 //! partial-sum cache. The run writes a machine-readable
-//! `BENCH_anytime.json` (CI uploads it as an artifact).
+//! `BENCH_anytime.json` (CI uploads it as an artifact), including
+//! p50/p95/p99 queue-wait, end-to-end and per-level latency fields
+//! derived from the service's registry histograms.
 //!
 //! `--smoke` is the CI mode, with hard *assertions* on the anytime
 //! contract: the budgeted first answer arrives at its promised level
@@ -132,6 +134,21 @@ fn refine_circuit(
     report
 }
 
+/// `{"count":…,"p50_micros":…,…}` for one latency histogram out of the
+/// service registry (quantiles are bucket upper bounds).
+fn latency_json(service: &Service, name: &str) -> String {
+    match service.metrics_snapshot().histogram_value(name) {
+        Some(h) => format!(
+            "{{\"count\":{},\"p50_micros\":{},\"p95_micros\":{},\"p99_micros\":{}}}",
+            h.count(),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        ),
+        None => "{\"count\":0,\"p50_micros\":0,\"p95_micros\":0,\"p99_micros\":0}".to_string(),
+    }
+}
+
 fn write_report(
     path: &str,
     mode: &str,
@@ -170,12 +187,16 @@ fn write_report(
         "{{\"mode\":\"{mode}\",\"workers\":{workers},\"refinements\":{},\
          \"refine_levels_completed\":{{{levels}}},\"refine_levels_from_cache\":{},\
          \"partial_cache_hits\":{},\"partial_cache_misses\":{},\
-         \"partial_cache_hit_rate\":{:.4},\"circuits\":[{circuits}]}}\n",
+         \"partial_cache_hit_rate\":{:.4},\"queue_wait\":{},\"e2e_latency\":{},\
+         \"refine_level\":{},\"circuits\":[{circuits}]}}\n",
         stats.refinements,
         stats.refine_levels_from_cache,
         stats.partial_cache.hits,
         stats.partial_cache.misses,
         stats.partial_cache_hit_rate(),
+        latency_json(service, "qns_serve_queue_wait_micros"),
+        latency_json(service, "qns_serve_e2e_latency_micros"),
+        latency_json(service, "qns_serve_refine_level_micros"),
     );
     let mut f = std::fs::File::create(path).expect("create bench report");
     f.write_all(json.as_bytes()).expect("write bench report");
@@ -246,7 +267,31 @@ fn main() {
             "every resubmission resumed from the partial-sum cache"
         );
         assert_eq!(stats.refine_active, 0, "every refinement drained");
-        println!("\nanytime invariants hold: budgeted levels, bitwise escalation, cache resume");
+        // Histogram reconciliation: this workload is refinements only,
+        // so every refinement was dequeued once and resolved one e2e
+        // sample, and every freshly computed level was timed once.
+        let snap = service.metrics_snapshot();
+        let queue_wait = snap
+            .histogram_value("qns_serve_queue_wait_micros")
+            .expect("queue-wait histogram is in the catalog");
+        assert_eq!(queue_wait.count(), stats.refinements);
+        let e2e = snap
+            .histogram_value("qns_serve_e2e_latency_micros")
+            .expect("e2e histogram is in the catalog");
+        assert_eq!(e2e.count(), stats.refinements);
+        let level_micros = snap
+            .histogram_value("qns_serve_refine_level_micros")
+            .expect("level histogram is in the catalog");
+        let fresh: u64 = stats.refine_levels_completed.values().sum();
+        assert_eq!(
+            level_micros.count(),
+            fresh,
+            "one timing sample per freshly computed level"
+        );
+        println!(
+            "\nanytime invariants hold: budgeted levels, bitwise escalation, cache resume, \
+             histogram reconciliation"
+        );
     }
 
     write_report(

@@ -5,7 +5,8 @@
 //! Usage:
 //!   cargo run -p qns-bench --release --bin serve_bench -- \
 //!       [--smoke] [--workers W] [--level L] [--noises N] \
-//!       [--repeats R] [--observables O] [--out PATH]
+//!       [--repeats R] [--observables O] [--out PATH] \
+//!       [--obs-dump PATH]
 //!
 //! Each unique job (registry circuit × observable) is submitted
 //! `R` times, interleaved so duplicates arrive while their first
@@ -13,20 +14,43 @@
 //! dedup paths. The run writes a machine-readable `BENCH_serve.json`
 //! (CI uploads it as an artifact).
 //!
+//! Timing comes from the service's own registry, not the harness
+//! stopwatch: `elapsed_seconds` is the submission window
+//! (`qns_serve_window_last_resolve_micros −
+//! qns_serve_window_first_submit_micros`), so report throughput
+//! excludes harness setup, and the latency fields are the p50/p95/p99
+//! upper bounds of the queue-wait and end-to-end histograms. The full
+//! metric catalog can be dumped as deterministic JSON with
+//! `--obs-dump PATH`; the tnet replay profiler is installed for the
+//! run, so the dump includes per-mode compiled-plan replay counters.
+//!
 //! `--smoke` is the CI mode: the small registry smoke set, and hard
 //! *assertions* on the serving invariants — exactly one backend
 //! execution per unique job, every duplicate answered by the cache or
-//! a single-flight join, and no job routed to an engine that declared
-//! it unsupported — so a serving regression fails the pipeline.
+//! a single-flight join, no job routed to an engine that declared it
+//! unsupported, per-stage histogram totals reconciling with the job
+//! counts, byte-deterministic exports, and an `--obs-dump` file that
+//! parses and covers the whole `qns_obs::catalog::CATALOG` — so a
+//! serving or observability regression fails the pipeline.
 
 use qns_api::{ApproxBackend, InitialState, Observable};
 use qns_bench::registry::{default_set, smoke_set, BenchCircuit};
 use qns_bench::timing::time_it;
 use qns_bench::{arg_flag, arg_usize, print_row};
 use qns_noise::{channels, NoisyCircuit};
+use qns_obs::{catalog, export, json, MetricsSnapshot};
 use qns_serve::{default_engines, JobSpec, Route, Service, ServiceBuilder, ServiceStats};
 use std::io::Write;
 use std::sync::Arc;
+
+/// `--flag VALUE` string argument.
+fn arg_str(name: &str) -> Option<String> {
+    std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
 
 /// One unique job per (circuit, observable-bits) pair.
 fn build_specs(set: &[BenchCircuit], noises: usize, observables: usize) -> Vec<JobSpec> {
@@ -81,6 +105,35 @@ fn run_workload(service: &Service, specs: &[JobSpec], repeats: usize) -> f64 {
     elapsed
 }
 
+/// The submission window in seconds, read from the registry's window
+/// gauges: first accepted submission to last resolution. Harness setup
+/// (spec construction, service build) is outside it by construction.
+fn window_seconds(snap: &MetricsSnapshot) -> f64 {
+    let first = snap
+        .gauge_value("qns_serve_window_first_submit_micros")
+        .map_or(0, |g| g.value);
+    let last = snap
+        .gauge_value("qns_serve_window_last_resolve_micros")
+        .map_or(0, |g| g.value);
+    (last - first).max(0) as f64 / 1e6
+}
+
+/// `{"count":…,"p50_micros":…,"p95_micros":…,"p99_micros":…}` for one
+/// latency histogram (quantiles are bucket upper bounds).
+fn latency_json(snap: &MetricsSnapshot, name: &str) -> String {
+    match snap.histogram_value(name) {
+        Some(h) => format!(
+            "{{\"count\":{},\"p50_micros\":{},\"p95_micros\":{},\"p99_micros\":{}}}",
+            h.count(),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        ),
+        None => "{\"count\":0,\"p50_micros\":0,\"p95_micros\":0,\"p99_micros\":0}".to_string(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_report(
     path: &str,
     mode: &str,
@@ -88,7 +141,9 @@ fn write_report(
     unique: usize,
     submitted: u64,
     elapsed: f64,
+    wall: f64,
     stats: &ServiceStats,
+    snap: &MetricsSnapshot,
 ) {
     let mut backends = String::new();
     for (i, (name, b)) in stats.per_backend.iter().enumerate() {
@@ -105,7 +160,8 @@ fn write_report(
          \"submitted\":{submitted},\"executed\":{},\"cache_hits\":{},\
          \"cache_misses\":{},\"cache_evictions\":{},\"dedup_joins\":{},\
          \"hit_rate\":{:.4},\"queue_high_water\":{},\"elapsed_seconds\":{:.6},\
-         \"throughput_jobs_per_sec\":{:.2},\"backends\":{{{backends}}}}}\n",
+         \"wall_seconds\":{:.6},\"throughput_jobs_per_sec\":{:.2},\
+         \"queue_wait\":{},\"e2e_latency\":{},\"backends\":{{{backends}}}}}\n",
         stats.executed,
         stats.cache_hits,
         stats.cache_misses,
@@ -114,7 +170,10 @@ fn write_report(
         stats.cache_hit_rate(),
         stats.queue_high_water,
         elapsed,
+        wall,
         submitted as f64 / elapsed.max(1e-9),
+        latency_json(snap, "qns_serve_queue_wait_micros"),
+        latency_json(snap, "qns_serve_e2e_latency_micros"),
     );
     let mut f = std::fs::File::create(path).expect("create bench report");
     f.write_all(json.as_bytes()).expect("write bench report");
@@ -128,12 +187,8 @@ fn main() {
     let noises = arg_usize("--noises", if smoke { 6 } else { 8 });
     let repeats = arg_usize("--repeats", 4);
     let observables = arg_usize("--observables", 2);
-    let out = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--out")
-        .map(|w| w[1].clone())
-        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let out = arg_str("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let obs_dump = arg_str("--obs-dump");
 
     let set = if smoke { smoke_set() } else { default_set() };
     let specs = build_specs(&set, noises, observables);
@@ -163,8 +218,24 @@ fn main() {
         .engines(engines)
         .build();
 
-    let elapsed = run_workload(&service, &specs, repeats);
+    // Route the compiled-plan replay profiler into the service's own
+    // registry, so the dump carries full/delta replay counters next to
+    // the serving metrics.
+    qns_tnet::profile::install(&service.metrics_registry());
+
+    let wall = run_workload(&service, &specs, repeats);
+    qns_tnet::profile::uninstall();
     let stats = service.stats();
+    let snap = service.metrics_snapshot();
+    let elapsed = window_seconds(&snap);
+    let queue_wait = snap
+        .histogram_value("qns_serve_queue_wait_micros")
+        .expect("queue-wait histogram is in the catalog")
+        .clone();
+    let e2e = snap
+        .histogram_value("qns_serve_e2e_latency_micros")
+        .expect("e2e histogram is in the catalog")
+        .clone();
 
     let widths = [22usize, 12];
     let rows: Vec<(&str, String)> = vec![
@@ -175,10 +246,23 @@ fn main() {
         ("cache evictions", stats.cache_evictions.to_string()),
         ("hit rate", format!("{:.3}", stats.cache_hit_rate())),
         ("queue high-water", stats.queue_high_water.to_string()),
-        ("elapsed (s)", format!("{elapsed:.3}")),
+        ("window (s)", format!("{elapsed:.3}")),
+        ("wall (s)", format!("{wall:.3}")),
         (
             "throughput (jobs/s)",
             format!("{:.1}", total as f64 / elapsed.max(1e-9)),
+        ),
+        (
+            "queue wait p50/p99",
+            format!(
+                "{}µs/{}µs",
+                queue_wait.quantile(0.5),
+                queue_wait.quantile(0.99)
+            ),
+        ),
+        (
+            "e2e p50/p99",
+            format!("{}µs/{}µs", e2e.quantile(0.5), e2e.quantile(0.99)),
         ),
     ];
     for (label, value) in rows {
@@ -216,7 +300,87 @@ fn main() {
             routed, stats.executed,
             "every execution is attributed to exactly one engine"
         );
-        println!("\nserving invariants hold: single-flight, cache, routing attribution");
+
+        // Observability tripwires: per-stage histogram totals reconcile
+        // exactly with the job counts (cache hits and dedup joins never
+        // enter the queue and never execute), the submission window is
+        // latched and sane, and a quiesced registry exports
+        // byte-identical documents.
+        assert_eq!(
+            queue_wait.count(),
+            stats.executed,
+            "every executed job was dequeued exactly once"
+        );
+        assert_eq!(
+            e2e.count(),
+            stats.executed,
+            "every executed job resolved exactly one e2e sample"
+        );
+        assert!(elapsed > 0.0, "submission window gauges latched");
+        assert!(
+            elapsed <= wall,
+            "window cannot exceed the harness wall clock"
+        );
+        let full = snap
+            .counter_value_labeled("qns_tnet_replays_total", "full")
+            .unwrap_or(0);
+        let delta = snap
+            .counter_value_labeled("qns_tnet_replays_total", "delta")
+            .unwrap_or(0);
+        assert!(full > 0, "approx executions replay compiled plans");
+        assert!(
+            delta > 0,
+            "the pattern sum's warm replays take the delta path"
+        );
+        assert_eq!(
+            export::to_prometheus(&snap),
+            export::to_prometheus(&service.metrics_snapshot()),
+            "quiesced Prometheus export must be byte-deterministic"
+        );
+        assert_eq!(
+            export::to_json(&snap),
+            export::to_json(&service.metrics_snapshot()),
+            "quiesced JSON export must be byte-deterministic"
+        );
+        println!(
+            "\nserving invariants hold: single-flight, cache, routing attribution, \
+             histogram reconciliation, deterministic exports"
+        );
+    }
+
+    if let Some(dump_path) = &obs_dump {
+        let mut f = std::fs::File::create(dump_path).expect("create obs dump");
+        f.write_all(export::to_json(&snap).as_bytes())
+            .expect("write obs dump");
+        println!("metrics snapshot written to {dump_path}");
+        if smoke {
+            // CI artifact contract: the written file parses with the
+            // workspace's own reader and covers the entire catalog.
+            let text = std::fs::read_to_string(dump_path).expect("read back obs dump");
+            let doc = json::parse(&text).expect("obs dump parses");
+            let metrics = doc
+                .get("metrics")
+                .and_then(|m| m.as_array())
+                .expect("obs dump has a metrics array");
+            for def in catalog::CATALOG {
+                assert!(
+                    metrics
+                        .iter()
+                        .any(|m| m.get("name").and_then(|n| n.as_str()) == Some(def.name)),
+                    "obs dump must cover catalog entry {}",
+                    def.name
+                );
+            }
+            assert_eq!(
+                metrics.len(),
+                catalog::CATALOG.len(),
+                "obs dump carries exactly the catalog families"
+            );
+            println!(
+                "obs dump covers all {} catalog families",
+                catalog::CATALOG.len()
+            );
+        }
     }
 
     write_report(
@@ -226,6 +390,8 @@ fn main() {
         unique,
         stats.submitted,
         elapsed,
+        wall,
         &stats,
+        &snap,
     );
 }

@@ -11,6 +11,44 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// A monotonic reference instant for timestamping events relative to a
+/// fixed origin (e.g. service construction).
+///
+/// This is the sanctioned wall-clock access point for
+/// determinism-path code: files under the `qns-lint` determinism rule
+/// may not name `Instant` directly, but may hold a `Stopwatch` and
+/// read elapsed offsets from it.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    origin: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Stopwatch {
+        Stopwatch::start()
+    }
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the current instant.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Whole microseconds elapsed since the origin (saturating at
+    /// `u64::MAX`, ~584 thousand years).
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since the origin.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -20,5 +58,14 @@ mod tests {
         let (v, t) = time_it(|| 2 + 2);
         assert_eq!(v, 4);
         assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_micros();
+        let b = sw.elapsed_micros();
+        assert!(b >= a);
+        assert!(sw.elapsed_seconds() >= 0.0);
     }
 }

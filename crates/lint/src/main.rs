@@ -49,8 +49,9 @@ fn parse_args() -> Result<Args, String> {
                      --deny              exit nonzero on findings or ratchet growth\n\
                      --update-baseline   rewrite the baseline to current counts\n\n\
                      Rules: determinism, panic (ratcheted), zero-alloc,\n\
-                     lock-registry. Suppress a site with `// qns-lint: allow(rule)`\n\
-                     on the same line or the line above. See docs/ANALYSIS.md."
+                     lock-registry, metric-registry. Suppress a site with\n\
+                     `// qns-lint: allow(rule)` on the same line or the line\n\
+                     above. See docs/ANALYSIS.md."
                 );
                 std::process::exit(0);
             }
@@ -120,7 +121,7 @@ fn run() -> Result<ExitCode, String> {
     println!(
         "qns-lint: {} files, {} findings ({} suppressed), {} panic-prone sites \
          across {} crates, {} zero-alloc fns, {} registered lock sites, \
-         lock order [{}]",
+         {} metric sites against a {}-name catalog, lock order [{}]",
         analysis.files_scanned,
         analysis.findings.len(),
         analysis.suppressed,
@@ -128,6 +129,8 @@ fn run() -> Result<ExitCode, String> {
         analysis.panic_counts.len(),
         analysis.zero_alloc_functions,
         analysis.lock_sites,
+        analysis.metric_sites,
+        analysis.metric_catalog.len(),
         analysis.lock_order.join(" -> "),
     );
 

@@ -20,6 +20,12 @@ pub fn to_json(analysis: &Analysis, ratchet: &[RatchetRow]) -> String {
         analysis.zero_alloc_functions
     );
     let _ = writeln!(out, "  \"lock_sites\": {},", analysis.lock_sites);
+    let _ = writeln!(out, "  \"metric_sites\": {},", analysis.metric_sites);
+    let _ = writeln!(
+        out,
+        "  \"metric_catalog_size\": {},",
+        analysis.metric_catalog.len()
+    );
     let _ = writeln!(out, "  \"suppressed\": {},", analysis.suppressed);
 
     out.push_str("  \"lock_order\": [");

@@ -1,5 +1,5 @@
 //! The rule engine: walks lexed files and enforces the workspace's
-//! four invariant families. See `docs/ANALYSIS.md` for the catalog and
+//! five invariant families. See `docs/ANALYSIS.md` for the catalog and
 //! the rationale behind each rule.
 
 use crate::lexer::{lex, Lexed, Tok, TokKind};
@@ -15,6 +15,8 @@ pub mod rule {
     pub const ZERO_ALLOC: &str = "zero-alloc";
     /// Serve locks must be `OrderedMutex`es named in `LOCK_ORDER`.
     pub const LOCK_REGISTRY: &str = "lock-registry";
+    /// Metric names must be string literals from `obs::CATALOG`.
+    pub const METRIC_REGISTRY: &str = "metric-registry";
 }
 
 /// Files on the bit-reproducibility path: fingerprints, cache keys,
@@ -63,6 +65,23 @@ const ALLOC_TYPES: &[&str] = &[
     "Vec", "String", "Box", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
 ];
 
+/// Registry-access methods whose first argument names a metric family
+/// (`registry.counter("…")`, `registry.histogram_labeled("…", mode)`, …).
+const METRIC_METHODS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "counter_labeled",
+    "gauge_labeled",
+    "histogram_labeled",
+    "counter_values",
+];
+
+/// Directory prefixes whose registry call sites the `metric-registry`
+/// rule checks against the catalog parsed from
+/// `crates/obs/src/catalog.rs`.
+const METRIC_PATHS: &[&str] = &["crates/serve/src/", "crates/tnet/src/"];
+
 /// One reported rule violation.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
@@ -95,6 +114,11 @@ pub struct Analysis {
     /// The lock registry parsed out of `crates/serve/src/sync.rs`
     /// (empty when that file is absent from the scanned set).
     pub lock_order: Vec<String>,
+    /// Registry call sites verified against the metric catalog.
+    pub metric_sites: usize,
+    /// The metric catalog parsed out of `crates/obs/src/catalog.rs`
+    /// (empty when that file is absent from the scanned set).
+    pub metric_catalog: Vec<String>,
     /// Findings silenced by `// qns-lint: allow(rule)` directives.
     pub suppressed: usize,
 }
@@ -108,11 +132,14 @@ pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
         ..Analysis::default()
     };
 
-    // Pass 1: the lock registry, parsed from the serve sync module so
-    // the declared order has exactly one source of truth.
+    // Pass 1: the lock registry and the metric catalog, each parsed
+    // from its single source of truth.
     for (path, content) in files {
         if path == "crates/serve/src/sync.rs" {
             analysis.lock_order = parse_lock_order(&lex(content));
+        }
+        if path == "crates/obs/src/catalog.rs" {
+            analysis.metric_catalog = parse_metric_catalog(&lex(content));
         }
     }
 
@@ -129,6 +156,7 @@ pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
         file.panic_ratchet();
         file.zero_alloc();
         file.lock_registry();
+        file.metric_registry();
     }
 
     analysis.findings.sort();
@@ -385,6 +413,64 @@ impl FileCx<'_> {
             }
         }
     }
+
+    /// Rule `metric-registry`: in `qns-serve` and `qns-tnet`, every
+    /// registry access (`.counter("…")`, `.histogram_labeled("…", …)`,
+    /// …) names its metric family as a string literal declared in
+    /// `qns_obs::catalog::CATALOG`, so exporters and dashboards cannot
+    /// drift from the code.
+    fn metric_registry(&mut self) {
+        if !METRIC_PATHS.iter().any(|p| self.path.starts_with(p)) {
+            return;
+        }
+        let catalog = self.analysis.metric_catalog.clone();
+        let toks = &self.lexed.toks;
+        for i in 0..toks.len() {
+            if self.is_test_tok(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || !METRIC_METHODS.contains(&t.text.as_str()) {
+                continue;
+            }
+            // A method call: `.counter(`, not a bare fn or definition.
+            if i == 0
+                || !toks[i - 1].is_punct('.')
+                || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                continue;
+            }
+            self.analysis.metric_sites += 1;
+            let (line, method) = (t.line, t.text.clone());
+            match toks.get(i + 2) {
+                Some(name) if name.kind == TokKind::Str => {
+                    if !catalog.iter().any(|c| c == &name.text) {
+                        let n = name.text.clone();
+                        self.report(
+                            rule::METRIC_REGISTRY,
+                            line,
+                            format!(
+                                "metric name \"{n}\" passed to `.{method}(…)` is not \
+                                 declared in qns_obs::catalog::CATALOG; add a MetricDef \
+                                 entry (name, kind, unit, help) first"
+                            ),
+                        );
+                    }
+                }
+                _ => {
+                    self.report(
+                        rule::METRIC_REGISTRY,
+                        line,
+                        format!(
+                            "`.{method}(…)` must name its metric family as a string \
+                             literal from qns_obs::catalog::CATALOG (the analyzer \
+                             cannot resolve expressions)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Iterates the rule names inside an `allow(a, b, …)` payload.
@@ -514,6 +600,27 @@ fn parse_lock_order(lexed: &Lexed) -> Vec<String> {
         .collect()
 }
 
+/// Extracts the declared metric names from the lexed
+/// `crates/obs/src/catalog.rs`: every `name: "…"` field between the
+/// `CATALOG` ident and the `;` closing its const initializer.
+fn parse_metric_catalog(lexed: &Lexed) -> Vec<String> {
+    let toks = &lexed.toks;
+    let Some(at) = toks.iter().position(|t| t.is_ident("CATALOG")) else {
+        return Vec::new();
+    };
+    let body: Vec<&Tok> = toks[at..].iter().take_while(|t| !t.is_punct(';')).collect();
+    let mut names = Vec::new();
+    for i in 0..body.len() {
+        if body[i].is_ident("name")
+            && body.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && body.get(i + 2).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            names.push(body[i + 2].text.clone());
+        }
+    }
+    names
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,5 +715,58 @@ mod tests {
         assert_eq!(lr.len(), 2, "{lr:?}");
         assert!(lr.iter().any(|f| f.message.contains("rogue.lock")));
         assert!(lr.iter().any(|f| f.message.contains("raw `Mutex`")));
+    }
+
+    #[test]
+    fn metric_registry_validates_names_against_the_catalog() {
+        let catalog = "pub const CATALOG: &[MetricDef] = &[\n\
+                       MetricDef { name: \"qns_serve_jobs_total\", kind: Kind::Counter },\n\
+                       MetricDef { name: \"qns_tnet_replay_micros\", kind: Kind::Histogram },\n];\n";
+        let serve = "fn wire(r: &Registry) {\n\
+                     let a = r.counter(\"qns_serve_jobs_total\");\n\
+                     let b = r.gauge(\"qns_serve_rogue_depth\");\n\
+                     let name = \"qns_serve_jobs_total\";\n\
+                     let c = r.histogram_labeled(name, \"mode\");\n}\n";
+        let tnet = "fn hook(r: &Registry) { let h = r.histogram(\"qns_tnet_replay_micros\"); }";
+        let a = analyze_sources(&files(&[
+            ("crates/obs/src/catalog.rs", catalog),
+            ("crates/serve/src/obs.rs", serve),
+            ("crates/tnet/src/profile.rs", tnet),
+        ]));
+        assert_eq!(
+            a.metric_catalog,
+            vec![
+                "qns_serve_jobs_total".to_string(),
+                "qns_tnet_replay_micros".to_string()
+            ]
+        );
+        assert_eq!(a.metric_sites, 4);
+        let mr: Vec<_> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == rule::METRIC_REGISTRY)
+            .collect();
+        assert_eq!(mr.len(), 2, "{mr:?}");
+        assert!(mr
+            .iter()
+            .any(|f| f.message.contains("qns_serve_rogue_depth")));
+        assert!(mr
+            .iter()
+            .any(|f| f.message.contains("string literal") && f.file == "crates/serve/src/obs.rs"));
+    }
+
+    #[test]
+    fn metric_registry_ignores_other_crates_and_test_code() {
+        let catalog = "pub const CATALOG: &[MetricDef] = &[MetricDef { name: \"qns_ok\" }];";
+        let bench = "fn f(r: &Registry) { let _ = r.counter(\"not_in_catalog\"); }";
+        let serve = "#[cfg(test)]\n\
+                     mod tests { fn f(r: &Registry) { let _ = r.counter(\"free_name\"); } }\n";
+        let a = analyze_sources(&files(&[
+            ("crates/obs/src/catalog.rs", catalog),
+            ("crates/bench/src/lib.rs", bench),
+            ("crates/serve/src/obs.rs", serve),
+        ]));
+        assert_eq!(a.metric_sites, 0);
+        assert!(a.findings.iter().all(|f| f.rule != rule::METRIC_REGISTRY));
     }
 }

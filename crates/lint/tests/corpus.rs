@@ -14,7 +14,7 @@ fn fixture(path: &str) -> std::path::PathBuf {
 
 fn analyze_corpus() -> rules::Analysis {
     let sources = collect_sources(&fixture("corpus")).expect("collect fixture corpus");
-    assert_eq!(sources.len(), 5, "fixture corpus drifted");
+    assert_eq!(sources.len(), 7, "fixture corpus drifted");
     rules::analyze_sources(&sources)
 }
 
@@ -53,18 +53,35 @@ fn corpus_findings_are_exactly_the_seeded_violations() {
         ],
         "rogue name, non-literal name, raw Mutex"
     );
+    assert_eq!(
+        by_rule(rule::METRIC_REGISTRY),
+        vec![
+            ("crates/serve/src/obs.rs", 7),
+            ("crates/serve/src/obs.rs", 9),
+        ],
+        "rogue metric name, non-literal metric name"
+    );
 
     // Ratchet: two countable sites in core lib code, none elsewhere;
     // the cfg(test) unwraps and the allow(panic) expect are invisible.
     assert_eq!(a.panic_counts.get("core"), Some(&2));
+    assert_eq!(a.panic_counts.get("obs"), Some(&0));
     assert_eq!(a.panic_counts.get("serve"), Some(&0));
     assert_eq!(a.panic_counts.get("tnet"), Some(&0));
 
-    // 2 suppressed determinism hits on plan.rs:8 + 1 suppressed panic.
-    assert_eq!(a.suppressed, 3);
+    // 2 suppressed determinism hits on plan.rs:8 + 1 suppressed panic
+    // + 1 suppressed off-book metric on obs.rs:11.
+    assert_eq!(a.suppressed, 4);
     assert_eq!(a.zero_alloc_functions, 2);
     assert_eq!(a.lock_sites, 3);
     assert_eq!(a.lock_order, vec!["fixture.outer", "fixture.inner"]);
+    // The cataloged literal, the rogue literal, the non-literal and
+    // the suppressed off-book site all count; the cfg(test) one never.
+    assert_eq!(a.metric_sites, 4);
+    assert_eq!(
+        a.metric_catalog,
+        vec!["qns_fixture_jobs_total", "qns_fixture_queue_depth"]
+    );
 }
 
 #[test]
@@ -89,6 +106,11 @@ fn corpus_report_matches_golden_json() {
         })
         .collect();
     let rendered = report::to_json(&a, &rows);
+    // UPDATE_GOLDEN=1 cargo test -p qns-lint … rewrites the golden in
+    // place after an intentional schema or corpus change.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(fixture("expected_report.json"), &rendered).expect("update golden");
+    }
     let golden =
         std::fs::read_to_string(fixture("expected_report.json")).expect("golden report file");
     assert_eq!(

@@ -1,0 +1,17 @@
+//! Fixture: the metric catalog the `metric-registry` rule parses as
+//! its allow-list (every `name: "…"` entry inside `CATALOG`).
+
+/// One declared metric family.
+pub struct MetricDef {
+    /// Exported family name.
+    pub name: &'static str,
+}
+
+pub const CATALOG: &[MetricDef] = &[
+    MetricDef {
+        name: "qns_fixture_jobs_total",
+    },
+    MetricDef {
+        name: "qns_fixture_queue_depth",
+    },
+];

@@ -1,0 +1,23 @@
+//! Fixture: metric-registry rule. One cataloged literal, one rogue
+//! literal, one non-literal name, one suppressed off-book literal,
+//! plus a test-side use the rule must not see.
+
+pub fn wire(registry: &Registry) {
+    let _jobs = registry.counter("qns_fixture_jobs_total");
+    let _rogue = registry.gauge("qns_fixture_rogue_depth");
+    let name = "qns_fixture_jobs_total";
+    let _dynamic = registry.histogram_labeled(name, "mode");
+    // qns-lint: allow(metric-registry)
+    let _offbook = registry.counter("qns_fixture_offbook_total");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_names_are_free() {
+        let registry = Registry::default();
+        let _ = registry.counter("qns_fixture_test_only");
+    }
+}

@@ -1,0 +1,271 @@
+//! The committed metric catalog.
+//!
+//! Every metric the workspace records must be declared here **by string
+//! literal**. The `qns-lint` `metric-registry` rule parses this file
+//! (pattern: `name: "…"` entries inside the [`CATALOG`] constant) and
+//! then checks that every registry call site in `qns-serve`/`qns-tnet`
+//! names one of these literals, so dashboards built against the catalog
+//! cannot silently drift from the code.
+//!
+//! Naming follows Prometheus conventions: `qns_<crate>_<what>_total`
+//! for counters, plain `qns_<crate>_<what>` for gauges, and
+//! `qns_<crate>_<what>_micros` (or another explicit unit) for
+//! histograms.
+
+/// The kind of a metric family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing `u64`.
+    Counter,
+    /// Signed instantaneous value with a retained high-water mark.
+    Gauge,
+    /// Fixed-bucket log₂ histogram of `u64` samples.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One catalog entry: the static description of a metric family.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricDef {
+    /// Unique metric family name (Prometheus-style snake case).
+    pub name: &'static str,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Label key when the family is partitioned (e.g. `backend`);
+    /// `None` for plain single-series metrics.
+    pub label: Option<&'static str>,
+    /// One-line human description, emitted as the `# HELP` text.
+    pub help: &'static str,
+}
+
+/// Every metric family the workspace may record, in declaration order.
+///
+/// [`crate::Registry::new`] pre-registers all of these; asking the
+/// registry for a name outside the catalog is a programming error.
+pub const CATALOG: &[MetricDef] = &[
+    // --- qns-serve: job intake and resolution -------------------------
+    MetricDef {
+        name: "qns_serve_jobs_submitted_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Accepted submissions (expect + refine), including dedup joins and cache hits",
+    },
+    MetricDef {
+        name: "qns_serve_jobs_executed_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Expectation jobs actually executed on a backend",
+    },
+    MetricDef {
+        name: "qns_serve_dedup_joins_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Submissions that joined an in-flight identical job",
+    },
+    MetricDef {
+        name: "qns_serve_cache_hits_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Result-cache lookups answered from the LRU",
+    },
+    MetricDef {
+        name: "qns_serve_cache_misses_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Result-cache lookups that missed",
+    },
+    MetricDef {
+        name: "qns_serve_cache_evictions_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Result-cache entries evicted to make room",
+    },
+    MetricDef {
+        name: "qns_serve_partial_cache_hits_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Partial-sum cache probes that found a usable level prefix",
+    },
+    MetricDef {
+        name: "qns_serve_partial_cache_misses_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Partial-sum cache probes that found nothing",
+    },
+    MetricDef {
+        name: "qns_serve_partial_cache_evictions_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Partial-sum cache entries evicted to make room",
+    },
+    MetricDef {
+        name: "qns_serve_queue_depth",
+        kind: MetricKind::Gauge,
+        label: None,
+        help: "Work items currently queued (high-water mark = peak depth)",
+    },
+    MetricDef {
+        name: "qns_serve_queue_wait_micros",
+        kind: MetricKind::Histogram,
+        label: None,
+        help: "Microseconds a work item waited in the queue before a worker picked it up",
+    },
+    MetricDef {
+        name: "qns_serve_e2e_latency_micros",
+        kind: MetricKind::Histogram,
+        label: None,
+        help: "Microseconds from submission to resolution for executed jobs and refinements",
+    },
+    MetricDef {
+        name: "qns_serve_backend_jobs_total",
+        kind: MetricKind::Counter,
+        label: Some("backend"),
+        help: "Jobs completed per backend (refinements under backend=\"refine\")",
+    },
+    MetricDef {
+        name: "qns_serve_backend_micros_total",
+        kind: MetricKind::Counter,
+        label: Some("backend"),
+        help: "Total execution microseconds per backend",
+    },
+    // --- qns-serve: anytime refinement --------------------------------
+    MetricDef {
+        name: "qns_serve_refinements_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Accepted refinement submissions",
+    },
+    MetricDef {
+        name: "qns_serve_refine_levels_completed_total",
+        kind: MetricKind::Counter,
+        label: Some("level"),
+        help: "Refinement levels freshly computed, by level index",
+    },
+    MetricDef {
+        name: "qns_serve_refine_levels_from_cache_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Refinement levels replayed from the partial-sum cache",
+    },
+    MetricDef {
+        name: "qns_serve_refine_active",
+        kind: MetricKind::Gauge,
+        label: None,
+        help: "Refinements in flight (high-water mark = peak concurrency)",
+    },
+    MetricDef {
+        name: "qns_serve_refine_cancelled_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Refinements observed cancelled before reaching their final level",
+    },
+    MetricDef {
+        name: "qns_serve_refine_level_micros",
+        kind: MetricKind::Histogram,
+        label: None,
+        help: "Microseconds to freshly compute one refinement level",
+    },
+    // --- qns-serve: event journal and measurement window ---------------
+    MetricDef {
+        name: "qns_serve_events_dropped_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Journal events overwritten before being drained (ring overflow)",
+    },
+    MetricDef {
+        name: "qns_serve_window_first_submit_micros",
+        kind: MetricKind::Gauge,
+        label: None,
+        help: "Service-clock micros of the first accepted submission (0 = none yet)",
+    },
+    MetricDef {
+        name: "qns_serve_window_last_resolve_micros",
+        kind: MetricKind::Gauge,
+        label: None,
+        help: "Service-clock micros of the most recent resolution (0 = none yet)",
+    },
+    // --- qns-tnet: compiled-plan replay profiling ----------------------
+    MetricDef {
+        name: "qns_tnet_replays_total",
+        kind: MetricKind::Counter,
+        label: Some("mode"),
+        help: "Compiled-plan replays, by mode (full vs delta)",
+    },
+    MetricDef {
+        name: "qns_tnet_replay_micros",
+        kind: MetricKind::Histogram,
+        label: Some("mode"),
+        help: "Microseconds per compiled-plan replay, by mode",
+    },
+    MetricDef {
+        name: "qns_tnet_replay_steps",
+        kind: MetricKind::Histogram,
+        label: Some("mode"),
+        help: "Contraction steps executed per replay (delta = dirty steps only)",
+    },
+];
+
+/// Looks up a catalog entry by name.
+pub fn find(name: &str) -> Option<&'static MetricDef> {
+    CATALOG.iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_well_formed() {
+        for (i, def) in CATALOG.iter().enumerate() {
+            assert!(
+                def.name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{} has non-snake-case characters",
+                def.name
+            );
+            assert!(
+                def.name.starts_with("qns_"),
+                "{} lacks qns_ prefix",
+                def.name
+            );
+            assert!(!def.help.is_empty());
+            for other in &CATALOG[..i] {
+                assert_ne!(def.name, other.name, "duplicate catalog entry");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_end_in_total() {
+        for def in CATALOG {
+            if def.kind == MetricKind::Counter {
+                assert!(def.name.ends_with("_total"), "{} is a counter", def.name);
+            } else {
+                assert!(
+                    !def.name.ends_with("_total"),
+                    "{} is not a counter",
+                    def.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_round_trips() {
+        for def in CATALOG {
+            assert_eq!(find(def.name).map(|d| d.name), Some(def.name));
+        }
+        assert!(find("qns_serve_bogus").is_none());
+    }
+}

@@ -16,6 +16,7 @@
 //! (`qns-lint`'s `determinism` rule pins this file to that contract).
 
 use qns_api::Estimate;
+use qns_obs::Counter;
 use std::collections::BTreeMap;
 
 /// Hit/miss/eviction counters of one cache (monotone over its life).
@@ -62,19 +63,44 @@ pub struct LruCache {
     capacity: usize,
     tick: u64,
     entries: BTreeMap<u128, (Estimate, u64)>,
-    counters: CacheCounters,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl LruCache {
     /// A cache holding at most `capacity` entries. Capacity `0` is a
     /// valid "caching disabled" configuration: every lookup misses and
     /// inserts are dropped.
+    ///
+    /// Counts into detached counters; use
+    /// [`with_counters`](Self::with_counters) to export them through a
+    /// [`qns_obs::Registry`].
     pub fn new(capacity: usize) -> Self {
+        Self::with_counters(
+            capacity,
+            Counter::detached(),
+            Counter::detached(),
+            Counter::detached(),
+        )
+    }
+
+    /// A cache whose hit/miss/eviction counts feed the given counter
+    /// handles (typically registry-attached, so the cache's behaviour
+    /// shows up in metric exports without a separate sync step).
+    pub fn with_counters(
+        capacity: usize,
+        hits: Counter,
+        misses: Counter,
+        evictions: Counter,
+    ) -> Self {
         LruCache {
             capacity,
             tick: 0,
             entries: BTreeMap::new(),
-            counters: CacheCounters::default(),
+            hits,
+            misses,
+            evictions,
         }
     }
 
@@ -84,11 +110,11 @@ impl LruCache {
         match self.entries.get_mut(&key) {
             Some((est, tick)) => {
                 *tick = self.tick;
-                self.counters.hits += 1;
+                self.hits.inc();
                 Some(est.clone())
             }
             None => {
-                self.counters.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -110,7 +136,7 @@ impl LruCache {
                 .map(|(k, _)| *k)
                 .expect("cache is non-empty when full");
             self.entries.remove(&oldest);
-            self.counters.evictions += 1;
+            self.evictions.inc();
         }
         self.entries.insert(key, (value, self.tick));
     }
@@ -130,9 +156,13 @@ impl LruCache {
         self.capacity
     }
 
-    /// The lifetime hit/miss/eviction counters.
+    /// The lifetime hit/miss/eviction counters, as a plain snapshot.
     pub fn counters(&self) -> CacheCounters {
-        self.counters
+        CacheCounters {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
     }
 }
 

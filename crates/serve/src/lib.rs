@@ -32,10 +32,15 @@
 //!   instead of restarting; dropping the handle cancels the
 //!   escalation. See [`refine`] for the model.
 //!
-//! [`ServiceStats`] exposes the counters (per-backend job counts and
-//! latencies, cache hit rate, queue high-water mark, per-level
-//! refinement completions) that the `serve_bench` and `anytime_bench`
-//! harnesses turn into `BENCH_serve.json` / `BENCH_anytime.json`.
+//! Every counter lives in a [`qns_obs::Registry`] the service owns:
+//! [`ServiceStats`] is a typed view over it, [`Service::metrics_snapshot`]
+//! exports the whole catalog (Prometheus text or JSON via
+//! [`qns_obs::export`]), and [`Service::drain_events`] returns the
+//! bounded journal of per-job lifecycle timelines (submit → route →
+//! queue → execute/refine → resolve). The `serve_bench` and
+//! `anytime_bench` harnesses turn these into `BENCH_serve.json` /
+//! `BENCH_anytime.json`; see `docs/OBSERVABILITY.md` for the metric
+//! catalog and determinism rules.
 //!
 //! # Example
 //!
@@ -60,6 +65,7 @@
 //! ```
 
 pub mod cache;
+mod obs;
 pub mod refine;
 pub mod router;
 mod service;
@@ -75,3 +81,6 @@ pub use sync::{OrderedCondvar, OrderedMutex, OrderedMutexGuard, LOCK_ORDER};
 
 // Re-exported so service code can be written against one crate.
 pub use qns_api::{Estimate, Fingerprint, PartialEstimate, QnsError};
+// Observability vocabulary callers of `Service::metrics_snapshot` /
+// `Service::drain_events` consume (see `docs/OBSERVABILITY.md`).
+pub use qns_obs::{DrainedEvents, Event, EventKind, MetricsSnapshot};

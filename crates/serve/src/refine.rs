@@ -20,6 +20,7 @@
 use crate::cache::CacheCounters;
 use crate::sync::{OrderedCondvar, OrderedMutex};
 use qns_api::{Estimate, PartialEstimate, QnsError};
+use qns_obs::Counter;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -161,16 +162,37 @@ pub(crate) struct PartialSumCache {
     capacity: usize,
     tick: u64,
     entries: BTreeMap<u128, (Vec<LevelSum>, u64)>,
-    counters: CacheCounters,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl PartialSumCache {
+    #[cfg(test)]
     pub(crate) fn new(capacity: usize) -> Self {
+        Self::with_counters(
+            capacity,
+            Counter::detached(),
+            Counter::detached(),
+            Counter::detached(),
+        )
+    }
+
+    /// A cache whose hit/miss/eviction counts feed the given (usually
+    /// registry-attached) counter handles.
+    pub(crate) fn with_counters(
+        capacity: usize,
+        hits: Counter,
+        misses: Counter,
+        evictions: Counter,
+    ) -> Self {
         PartialSumCache {
             capacity,
             tick: 0,
             entries: BTreeMap::new(),
-            counters: CacheCounters::default(),
+            hits,
+            misses,
+            evictions,
         }
     }
 
@@ -187,11 +209,11 @@ impl PartialSumCache {
         match self.entries.get_mut(&key) {
             Some((levels, tick)) if !levels.is_empty() => {
                 *tick = self.tick;
-                self.counters.hits += 1;
+                self.hits.inc();
                 levels.clone()
             }
             _ => {
-                self.counters.misses += 1;
+                self.misses.inc();
                 Vec::new()
             }
         }
@@ -224,13 +246,17 @@ impl PartialSumCache {
                 .map(|(k, _)| *k)
                 .expect("cache is non-empty when full");
             self.entries.remove(&oldest);
-            self.counters.evictions += 1;
+            self.evictions.inc();
         }
         self.entries.insert(key, (vec![sum], self.tick));
     }
 
     pub(crate) fn counters(&self) -> CacheCounters {
-        self.counters
+        CacheCounters {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
     }
 }
 

@@ -32,6 +32,7 @@
 //! [`Estimate`]. See [`crate::refine`] for the deadline/level model.
 
 use crate::cache::LruCache;
+use crate::obs::Obs;
 use crate::refine::{
     deadline_level, LevelSum, PartialSumCache, RefineRequest, RefineShared, RefinementHandle,
     RefinementUpdate,
@@ -45,6 +46,7 @@ use qns_api::{
 };
 use qns_core::timing::time_it;
 use qns_noise::NoisyCircuit;
+use qns_obs::{DrainedEvents, EventKind, MetricsSnapshot, Registry};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -280,6 +282,12 @@ struct Task {
     route: Route,
     spec: JobSpec,
     flight: Arc<Flight>,
+    /// Per-submission id tying the job's journal events together.
+    job_id: u64,
+    /// Service-clock timestamp of acceptance; queue wait and
+    /// end-to-end latency both measure from here (acceptance and
+    /// enqueue happen under one lock hold).
+    submitted_micros: u64,
 }
 
 /// One queued anytime refinement (see [`crate::refine`]).
@@ -294,27 +302,21 @@ struct RefineTask {
     final_level: usize,
     shared: Arc<RefineShared>,
     cancel: Arc<AtomicBool>,
+    /// See [`Task::job_id`].
+    job_id: u64,
+    /// See [`Task::submitted_micros`].
+    submitted_micros: u64,
 }
 
 /// Everything behind the service's single state lock. Workers hold the
 /// lock only for queue/cache/table operations — never while a backend
-/// runs.
+/// runs. Counters live in the metrics registry ([`crate::obs::Obs`]),
+/// not here: [`ServiceStats`] is a view over that registry.
 struct State {
     queue: VecDeque<Work>,
     cache: LruCache,
     inflight: HashMap<u128, Arc<Flight>>,
     partial: PartialSumCache,
-    submitted: u64,
-    executed: u64,
-    dedup_joins: u64,
-    queue_high_water: usize,
-    per_backend: BTreeMap<&'static str, BackendStats>,
-    refinements: u64,
-    refine_levels_completed: BTreeMap<usize, u64>,
-    refine_levels_from_cache: u64,
-    refine_active: usize,
-    refine_high_water: usize,
-    refine_cancelled: u64,
     /// EWMA of observed refinement throughput (patterns/second), used
     /// to convert deadlines into pattern budgets. `0.0` until the
     /// first fresh level completes (the default rate applies then).
@@ -349,6 +351,9 @@ struct Shared {
     /// Options every refinement runs under (strategy/threads are part
     /// of the partial-sum cache key; see [`partial_sum_key`]).
     refine_opts: ApproxOptions,
+    /// Metrics registry + event journal (lock-free counters; the
+    /// journal has its own innermost lock, see `crate::obs`).
+    obs: Obs,
 }
 
 impl Shared {
@@ -370,6 +375,7 @@ pub struct ServiceBuilder {
     cache_capacity: usize,
     queue_capacity: usize,
     partial_cache_capacity: usize,
+    journal_capacity: usize,
     route: Route,
     engines: Vec<SharedBackend>,
     refine_opts: ApproxOptions,
@@ -395,6 +401,7 @@ impl Default for ServiceBuilder {
             cache_capacity: 256,
             queue_capacity: 1024,
             partial_cache_capacity: 128,
+            journal_capacity: 4096,
             route: Route::Auto,
             engines: default_engines(),
             refine_opts: ApproxOptions::default(),
@@ -454,6 +461,15 @@ impl ServiceBuilder {
         self
     }
 
+    /// Event-journal capacity in events (default 4096). The journal is
+    /// a bounded ring: once full, the oldest events are overwritten and
+    /// counted into `qns_serve_events_dropped_total`. `0` disables
+    /// journaling (every event is counted as dropped).
+    pub fn journal_capacity(mut self, capacity: usize) -> Self {
+        self.journal_capacity = capacity;
+        self
+    }
+
     /// The [`ApproxOptions`] every [`Service::submit_refine`]
     /// refinement runs under. The `level` field is ignored (the
     /// request's budget and `max_level` choose levels); `max_terms`
@@ -467,25 +483,28 @@ impl ServiceBuilder {
 
     /// Spawns the worker pool and returns the running service.
     pub fn build(self) -> Service {
+        let engine_names: Vec<&'static str> = self.engines.iter().map(|e| e.name()).collect();
+        let obs = Obs::new(&engine_names, self.journal_capacity);
+        let (cache_hits, cache_misses, cache_evictions) = obs.cache_counters();
+        let (partial_hits, partial_misses, partial_evictions) = obs.partial_cache_counters();
         let shared = Arc::new(Shared {
             state: OrderedMutex::new(
                 "serve.state",
                 State {
                     queue: VecDeque::new(),
-                    cache: LruCache::new(self.cache_capacity),
+                    cache: LruCache::with_counters(
+                        self.cache_capacity,
+                        cache_hits,
+                        cache_misses,
+                        cache_evictions,
+                    ),
                     inflight: HashMap::new(),
-                    partial: PartialSumCache::new(self.partial_cache_capacity),
-                    submitted: 0,
-                    executed: 0,
-                    dedup_joins: 0,
-                    queue_high_water: 0,
-                    per_backend: BTreeMap::new(),
-                    refinements: 0,
-                    refine_levels_completed: BTreeMap::new(),
-                    refine_levels_from_cache: 0,
-                    refine_active: 0,
-                    refine_high_water: 0,
-                    refine_cancelled: 0,
+                    partial: PartialSumCache::with_counters(
+                        self.partial_cache_capacity,
+                        partial_hits,
+                        partial_misses,
+                        partial_evictions,
+                    ),
                     refine_rate_pps: 0.0,
                     shutdown: false,
                 },
@@ -495,6 +514,7 @@ impl ServiceBuilder {
             queue_capacity: self.queue_capacity,
             engines: self.engines,
             refine_opts: self.refine_opts,
+            obs,
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -541,6 +561,7 @@ impl Service {
     /// As [`Service::submit`].
     pub fn submit_routed(&self, spec: &JobSpec, route: Route) -> Result<JobHandle, QnsError> {
         let key = route.cache_key(spec.fingerprint);
+        let obs = &self.shared.obs;
         let mut state = self.shared.lock();
         if state.shutdown {
             return Err(QnsError::InvalidJob {
@@ -550,17 +571,32 @@ impl Service {
         // `submitted` counts *accepted* submissions only, so each of
         // the three accept paths below bumps it — never a rejection
         // (including the post-backpressure shutdown rejection).
+        // Submit-path events are recorded while the state lock is held
+        // (the journal lock is innermost), so a racing worker's
+        // `Dequeued` can never precede this submission's `Enqueued` in
+        // the journal.
 
         // 1. Already queued or running: join that flight. No cache
         //    probe — a join is not a cache miss.
         if let Some(flight) = state.inflight.get(&key).map(Arc::clone) {
-            state.submitted += 1;
-            state.dedup_joins += 1;
+            let job_id = obs.job_id();
+            obs.submitted.inc();
+            obs.dedup_joins.inc();
+            obs.mark_submit(obs.now_micros());
+            obs.record(job_id, EventKind::Submitted);
+            obs.record(job_id, EventKind::DedupJoined);
             return Ok(JobHandle { flight });
         }
         // 2. Completed before: answer from the cache.
         if let Some(est) = state.cache.get(key) {
-            state.submitted += 1;
+            let job_id = obs.job_id();
+            obs.submitted.inc();
+            let now = obs.now_micros();
+            obs.mark_submit(now);
+            obs.mark_resolve(now);
+            obs.record(job_id, EventKind::Submitted);
+            obs.record(job_id, EventKind::CacheHit);
+            obs.record(job_id, EventKind::Resolved { ok: true });
             return Ok(JobHandle {
                 flight: Flight::resolved(Ok(est)),
             });
@@ -587,14 +623,27 @@ impl Service {
             state.inflight.remove(&key);
             return Err(err);
         }
-        state.submitted += 1;
+        let job_id = obs.job_id();
+        obs.submitted.inc();
+        let now = obs.now_micros();
+        obs.mark_submit(now);
         state.queue.push_back(Work::Expect(Task {
             key,
             route,
             spec: spec.clone(),
             flight: Arc::clone(&flight),
+            job_id,
+            submitted_micros: now,
         }));
-        state.queue_high_water = state.queue_high_water.max(state.queue.len());
+        let depth = state.queue.len();
+        obs.queue_depth.set(depth as i64);
+        obs.record(job_id, EventKind::Submitted);
+        obs.record(
+            job_id,
+            EventKind::Enqueued {
+                queue_depth: u32::try_from(depth).unwrap_or(u32::MAX),
+            },
+        );
         drop(state);
         self.shared.work.notify_one();
         Ok(JobHandle { flight })
@@ -667,10 +716,13 @@ impl Service {
             progress.finish(Some(err.clone()), false);
             return Err(err);
         }
-        state.submitted += 1;
-        state.refinements += 1;
-        state.refine_active += 1;
-        state.refine_high_water = state.refine_high_water.max(state.refine_active);
+        let obs = &self.shared.obs;
+        let job_id = obs.job_id();
+        obs.submitted.inc();
+        obs.refinements.inc();
+        obs.refine_active.inc();
+        let now = obs.now_micros();
+        obs.mark_submit(now);
         state.queue.push_back(Work::Refine(RefineTask {
             key,
             spec: spec.clone(),
@@ -678,8 +730,25 @@ impl Service {
             final_level,
             shared: Arc::clone(&progress),
             cancel: Arc::clone(&cancel),
+            job_id,
+            submitted_micros: now,
         }));
-        state.queue_high_water = state.queue_high_water.max(state.queue.len());
+        let depth = state.queue.len();
+        obs.queue_depth.set(depth as i64);
+        obs.record(job_id, EventKind::Submitted);
+        obs.record(
+            job_id,
+            EventKind::RefineSubmitted {
+                first_level: u32::try_from(first_level).unwrap_or(u32::MAX),
+                final_level: u32::try_from(final_level).unwrap_or(u32::MAX),
+            },
+        );
+        obs.record(
+            job_id,
+            EventKind::Enqueued {
+                queue_depth: u32::try_from(depth).unwrap_or(u32::MAX),
+            },
+        );
         drop(state);
         self.shared.work.notify_one();
         Ok(RefinementHandle::new(
@@ -696,27 +765,76 @@ impl Service {
         &self.shared.refine_opts
     }
 
-    /// A point-in-time snapshot of the service's counters.
+    /// A point-in-time snapshot of the service's counters — a view
+    /// over the metrics registry (the counters live there; see
+    /// [`Service::metrics_snapshot`] for the full export).
     pub fn stats(&self) -> ServiceStats {
-        let state = self.shared.lock();
-        let cache = state.cache.counters();
+        let obs = &self.shared.obs;
+        let (cache, partial_cache) = {
+            let state = self.shared.lock();
+            (state.cache.counters(), state.partial.counters())
+        };
+        let mut per_backend = BTreeMap::new();
+        for (name, handles) in &obs.backends {
+            let jobs = handles.jobs.get();
+            if jobs > 0 {
+                per_backend.insert(
+                    *name,
+                    BackendStats {
+                        jobs,
+                        seconds: handles.micros.get() as f64 / 1e6,
+                    },
+                );
+            }
+        }
+        let refine_levels_completed = obs
+            .registry
+            .counter_values("qns_serve_refine_levels_completed_total")
+            .into_iter()
+            .filter_map(|(label, count)| label.parse::<usize>().ok().map(|level| (level, count)))
+            .collect();
         ServiceStats {
-            submitted: state.submitted,
-            executed: state.executed,
+            submitted: obs.submitted.get(),
+            executed: obs.executed.get(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
-            dedup_joins: state.dedup_joins,
-            queue_high_water: state.queue_high_water,
-            per_backend: state.per_backend.clone(),
-            refinements: state.refinements,
-            refine_levels_completed: state.refine_levels_completed.clone(),
-            refine_levels_from_cache: state.refine_levels_from_cache,
-            refine_active: state.refine_active,
-            refine_high_water: state.refine_high_water,
-            refine_cancelled: state.refine_cancelled,
-            partial_cache: state.partial.counters(),
+            dedup_joins: obs.dedup_joins.get(),
+            queue_high_water: usize::try_from(obs.queue_depth.high_water()).unwrap_or(0),
+            per_backend,
+            refinements: obs.refinements.get(),
+            refine_levels_completed,
+            refine_levels_from_cache: obs.refine_from_cache.get(),
+            refine_active: usize::try_from(obs.refine_active.get()).unwrap_or(0),
+            refine_high_water: usize::try_from(obs.refine_active.high_water()).unwrap_or(0),
+            refine_cancelled: obs.refine_cancelled.get(),
+            partial_cache,
         }
+    }
+
+    /// A point-in-time copy of every metric series the service (and
+    /// anything else sharing [`Service::metrics_registry`], e.g. the
+    /// `qns-tnet` replay profiler) has recorded. Feed it to
+    /// [`qns_obs::export::to_prometheus`] /
+    /// [`qns_obs::export::to_json`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.obs.registry.snapshot()
+    }
+
+    /// The service's metrics registry — shareable with other
+    /// instrumented components (e.g.
+    /// `qns_tnet::profile::install`) so their series export alongside
+    /// the service's.
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.obs.registry)
+    }
+
+    /// Drains the event journal: every buffered per-job lifecycle
+    /// event, oldest first, plus the cumulative count of events lost
+    /// to ring overflow. Use [`qns_obs::DrainedEvents::timelines`] to
+    /// regroup per job.
+    pub fn drain_events(&self) -> DrainedEvents {
+        self.shared.obs.drain_events()
     }
 
     /// Names of the registered engines, in registration (= routing
@@ -769,6 +887,7 @@ fn worker_loop(shared: &Shared) {
             let mut state = shared.lock();
             loop {
                 if let Some(work) = state.queue.pop_front() {
+                    shared.obs.queue_depth.set(state.queue.len() as i64);
                     shared.space.notify_one();
                     break Some(work);
                 }
@@ -789,6 +908,15 @@ fn worker_loop(shared: &Shared) {
 /// Executes one expectation task: route, execute (lock released),
 /// record, resolve.
 fn run_expectation(shared: &Shared, task: Task) {
+    let obs = &shared.obs;
+    let wait_micros = obs.now_micros().saturating_sub(task.submitted_micros);
+    obs.queue_wait.record(wait_micros);
+    obs.record(
+        task.job_id,
+        EventKind::Dequeued {
+            queue_wait_micros: wait_micros,
+        },
+    );
     // A panicking backend (custom engines arrive through
     // `ServiceBuilder::with_engine`) must not kill the worker:
     // that would strand the flight — every joined handle would
@@ -799,6 +927,15 @@ fn run_expectation(shared: &Shared, task: Task) {
         match route_job(&shared.engines, &job, task.route) {
             Ok(idx) => {
                 let engine = &shared.engines[idx];
+                obs.record(
+                    task.job_id,
+                    EventKind::Routed {
+                        engine: engine.name(),
+                        cost: engine
+                            .cost_hint(&job)
+                            .map_or(u64::MAX, |c| u64::try_from(c).unwrap_or(u64::MAX)),
+                    },
+                );
                 let (result, seconds) = time_it(|| engine.expectation(&job));
                 (result, Some((engine.name(), seconds)))
             }
@@ -816,17 +953,31 @@ fn run_expectation(shared: &Shared, task: Task) {
 
     {
         let mut state = shared.lock();
-        if let Some((name, seconds)) = executed_on {
-            state.executed += 1;
-            let backend = state.per_backend.entry(name).or_default();
-            backend.jobs += 1;
-            backend.seconds += seconds;
-        }
         if let Ok(est) = &result {
             state.cache.insert(task.key, est.clone());
         }
         state.inflight.remove(&task.key);
     }
+    if let Some((name, seconds)) = executed_on {
+        let micros = (seconds * 1e6) as u64;
+        obs.executed.inc();
+        if let Some(handles) = obs.backends.get(name) {
+            handles.jobs.inc();
+            handles.micros.add(micros);
+        }
+        obs.record(
+            task.job_id,
+            EventKind::Executed {
+                engine: name,
+                micros,
+                ok: result.is_ok(),
+            },
+        );
+    }
+    let now = obs.now_micros();
+    obs.e2e.record(now.saturating_sub(task.submitted_micros));
+    obs.mark_resolve(now);
+    obs.record(task.job_id, EventKind::Resolved { ok: result.is_ok() });
     task.flight.fill(result);
 }
 
@@ -844,6 +995,15 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
 /// promised `first_level` is in, on shutdown (the deadline answer is
 /// honoured even while draining; escalation past it is best-effort).
 fn run_refinement(shared: &Shared, task: RefineTask) {
+    let obs = &shared.obs;
+    let wait_micros = obs.now_micros().saturating_sub(task.submitted_micros);
+    obs.queue_wait.record(wait_micros);
+    obs.record(
+        task.job_id,
+        EventKind::Dequeued {
+            queue_wait_micros: wait_micros,
+        },
+    );
     // Same containment rationale as `run_expectation`: a panic must
     // resolve the progress state, not strand every handle.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -862,13 +1022,19 @@ fn run_refinement(shared: &Shared, task: RefineTask) {
     // Retire the gauge BEFORE publishing completion: anyone who
     // observes the refinement as done (via a handle wait) must also
     // observe `refine_active` already decremented.
-    {
-        let mut state = shared.lock();
-        state.refine_active -= 1;
-        if cancelled {
-            state.refine_cancelled += 1;
-        }
+    obs.refine_active.dec();
+    if cancelled {
+        obs.refine_cancelled.inc();
     }
+    let now = obs.now_micros();
+    obs.e2e.record(now.saturating_sub(task.submitted_micros));
+    obs.mark_resolve(now);
+    obs.record(
+        task.job_id,
+        EventKind::Resolved {
+            ok: error.is_none(),
+        },
+    );
     task.shared.finish(error, cancelled);
 }
 
@@ -895,7 +1061,16 @@ fn run_refinement_inner(shared: &Shared, task: &RefineTask) -> Result<bool, QnsE
             let partial =
                 refinement.install_level(cached[level].contribution, cached[level].patterns)?;
             let estimate = refinement.estimate_for(&partial);
-            shared.lock().refine_levels_from_cache += 1;
+            shared.obs.refine_from_cache.inc();
+            shared.obs.record(
+                task.job_id,
+                EventKind::RefineLevel {
+                    level: u32::try_from(level).unwrap_or(u32::MAX),
+                    patterns: partial.level_patterns as u64,
+                    micros: 0,
+                    from_cache: true,
+                },
+            );
             task.shared.publish(RefinementUpdate {
                 partial,
                 estimate,
@@ -905,6 +1080,7 @@ fn run_refinement_inner(shared: &Shared, task: &RefineTask) -> Result<bool, QnsE
             let (result, seconds) = time_it(|| refinement.advance());
             let partial = result?;
             total_seconds += seconds;
+            let micros = (seconds * 1e6) as u64;
             let estimate = refinement.estimate_for(&partial);
             {
                 let mut state = shared.lock();
@@ -916,9 +1092,19 @@ fn run_refinement_inner(shared: &Shared, task: &RefineTask) -> Result<bool, QnsE
                         patterns: partial.level_patterns,
                     },
                 );
-                *state.refine_levels_completed.entry(level).or_default() += 1;
                 state.observe_refine_rate(partial.level_patterns, seconds);
             }
+            shared.obs.refine_level_micros.record(micros);
+            shared.obs.refine_level_counter(level).inc();
+            shared.obs.record(
+                task.job_id,
+                EventKind::RefineLevel {
+                    level: u32::try_from(level).unwrap_or(u32::MAX),
+                    patterns: partial.level_patterns as u64,
+                    micros,
+                    from_cache: false,
+                },
+            );
             task.shared.publish(RefinementUpdate {
                 partial,
                 estimate,
@@ -926,11 +1112,9 @@ fn run_refinement_inner(shared: &Shared, task: &RefineTask) -> Result<bool, QnsE
             });
         }
     }
-    {
-        let mut state = shared.lock();
-        let backend = state.per_backend.entry("refine").or_default();
-        backend.jobs += 1;
-        backend.seconds += total_seconds;
+    if let Some(handles) = shared.obs.backends.get("refine") {
+        handles.jobs.inc();
+        handles.micros.add((total_seconds * 1e6) as u64);
     }
     Ok(cancelled)
 }

@@ -51,7 +51,16 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 ///    lock for result publication/wait.
 /// 3. `refine.progress` — one per refinement; a leaf lock for the
 ///    level-update stream.
-pub const LOCK_ORDER: &[&str] = &["serve.state", "flight.slot", "refine.progress"];
+/// 4. `serve.journal` — the observability event ring. Innermost:
+///    lifecycle events are recorded while `serve.state` (and never the
+///    other way around), and recording must stay legal from any
+///    publication path.
+pub const LOCK_ORDER: &[&str] = &[
+    "serve.state",
+    "flight.slot",
+    "refine.progress",
+    "serve.journal",
+];
 
 /// A [`Mutex`] wrapper with a registered name, poison recovery, and
 /// (in debug builds) dynamic acquisition-order checking. See the

@@ -1,0 +1,232 @@
+//! End-to-end observability invariants over a mixed expect + refine
+//! workload:
+//!
+//! * **Reconciliation** — per-stage histogram totals match the
+//!   [`qns_serve::ServiceStats`] job counts exactly (queue-wait and
+//!   end-to-end sample counts, per-level timings, per-backend jobs).
+//! * **Timelines** — the drained journal reconstructs every job's full
+//!   lifecycle in order.
+//! * **Determinism** — exporting the same quiesced registry twice is
+//!   byte-identical, for both Prometheus text and JSON.
+//! * **Zero-alloc steady state** — once label children are warm, a
+//!   second workload leaves the registry's allocation-event counter
+//!   flat.
+
+use qns_circuit::generators::ghz;
+use qns_noise::{channels, NoisyCircuit};
+use qns_obs::export;
+use qns_serve::{EventKind, JobSpec, RefineRequest, ServiceBuilder};
+
+fn spec_with_observable(bits: usize) -> JobSpec {
+    let noisy = NoisyCircuit::inject_random(ghz(4), &channels::depolarizing(1e-3), 2, 7);
+    let n = noisy.n_qubits();
+    JobSpec::new(
+        noisy,
+        qns_api::InitialState::zeros(n),
+        qns_api::Observable::basis(n, bits),
+    )
+    .unwrap()
+}
+
+fn refine_spec() -> JobSpec {
+    JobSpec::zeros(NoisyCircuit::inject_random(
+        ghz(4),
+        &channels::depolarizing(1e-3),
+        2,
+        11,
+    ))
+}
+
+/// One workload round: `one_shots` distinct jobs, a repeat of the
+/// first (cache hit), and two refinements of the same job (the second
+/// resumes from the partial-sum cache). Sequential waits, so no dedup
+/// joins muddy the accounting.
+fn run_round(service: &qns_serve::Service, one_shots: usize, bits_base: usize) {
+    for bits in 0..one_shots {
+        service
+            .submit(&spec_with_observable(bits_base + bits))
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    service
+        .submit(&spec_with_observable(bits_base))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let a = service
+        .submit_refine(&refine_spec(), &RefineRequest::new())
+        .unwrap();
+    a.wait_final().unwrap();
+    let b = service
+        .submit_refine(&refine_spec(), &RefineRequest::new())
+        .unwrap();
+    b.wait_final().unwrap();
+}
+
+#[test]
+fn histograms_reconcile_and_timelines_reconstruct() {
+    let service = ServiceBuilder::new().workers(2).build();
+    let n = refine_spec().noisy().noise_count();
+    run_round(&service, 5, 0);
+
+    let stats = service.stats();
+    assert_eq!(stats.executed, 5);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.refinements, 2);
+    assert_eq!(stats.submitted, 8);
+    assert_eq!(stats.dedup_joins, 0, "sequential waits: no joins");
+
+    // Per-stage histogram totals reconcile exactly with the job
+    // counts: every executed job and every refinement was dequeued
+    // once (cache hits never enter the queue) and resolved once.
+    let snap = service.metrics_snapshot();
+    let dequeued = stats.executed + stats.refinements;
+    let queue_wait = snap.histogram_value("qns_serve_queue_wait_micros").unwrap();
+    assert_eq!(queue_wait.count(), dequeued);
+    let e2e = snap
+        .histogram_value("qns_serve_e2e_latency_micros")
+        .unwrap();
+    assert_eq!(e2e.count(), dequeued, "cache hits contribute no e2e sample");
+    // Fresh levels: each timed once, counted once per level label.
+    let fresh: u64 = stats.refine_levels_completed.values().sum();
+    assert_eq!(fresh, (n + 1) as u64, "run a computed every level fresh");
+    assert_eq!(stats.refine_levels_from_cache, (n + 1) as u64);
+    let level_micros = snap
+        .histogram_value("qns_serve_refine_level_micros")
+        .unwrap();
+    assert_eq!(
+        level_micros.count(),
+        fresh,
+        "one timing sample per fresh level"
+    );
+    // Per-backend jobs partition the executed count ("refine" is the
+    // separate refinement aggregate).
+    let backend_jobs: u64 = stats
+        .per_backend
+        .iter()
+        .filter(|(name, _)| **name != "refine")
+        .map(|(_, b)| b.jobs)
+        .sum();
+    assert_eq!(backend_jobs, stats.executed);
+    assert_eq!(stats.per_backend["refine"].jobs, 2);
+    // Counter values in the export match the stats view (same source).
+    assert_eq!(
+        snap.counter_value("qns_serve_jobs_submitted_total"),
+        Some(stats.submitted)
+    );
+    assert_eq!(snap.counter_value("qns_serve_cache_hits_total"), Some(1));
+    // The submission window is latched and ordered.
+    let first = snap
+        .gauge_value("qns_serve_window_first_submit_micros")
+        .unwrap();
+    let last = snap
+        .gauge_value("qns_serve_window_last_resolve_micros")
+        .unwrap();
+    assert!(first.value >= 1, "latch stores max(v, 1)");
+    assert!(last.value >= first.value);
+
+    // The drained journal reconstructs each job's full timeline.
+    let drained = service.drain_events();
+    assert_eq!(drained.dropped, 0, "default journal holds this workload");
+    let timelines = drained.timelines();
+    assert_eq!(
+        timelines.len() as u64,
+        stats.submitted,
+        "one timeline per submission"
+    );
+    let mut cache_hits = 0u64;
+    let mut executed = 0u64;
+    let mut refined = 0u64;
+    for (job, events) in &timelines {
+        let kinds: Vec<&EventKind> = events.iter().map(|e| &e.kind).collect();
+        assert_eq!(
+            *kinds[0],
+            EventKind::Submitted,
+            "job {job} must start at Submitted"
+        );
+        let pos = |pred: fn(&EventKind) -> bool| kinds.iter().position(|k| pred(k));
+        let resolved = pos(|k| matches!(k, EventKind::Resolved { .. }))
+            .unwrap_or_else(|| panic!("job {job} never resolved: {kinds:?}"));
+        assert_eq!(
+            resolved,
+            kinds.len() - 1,
+            "Resolved terminates the timeline"
+        );
+        if kinds.iter().any(|k| matches!(k, EventKind::CacheHit)) {
+            cache_hits += 1;
+            assert_eq!(kinds.len(), 3, "cache hit: Submitted, CacheHit, Resolved");
+            continue;
+        }
+        let enq = pos(|k| matches!(k, EventKind::Enqueued { .. })).unwrap();
+        let deq = pos(|k| matches!(k, EventKind::Dequeued { .. })).unwrap();
+        assert!(
+            enq < deq && deq < resolved,
+            "queue stages in order: {kinds:?}"
+        );
+        if let Some(refine) = pos(|k| matches!(k, EventKind::RefineSubmitted { .. })) {
+            refined += 1;
+            assert!(refine < enq);
+            let levels = kinds
+                .iter()
+                .filter(|k| matches!(k, EventKind::RefineLevel { .. }))
+                .count();
+            assert_eq!(levels, n + 1, "every level published an event");
+        } else {
+            executed += 1;
+            let routed = pos(|k| matches!(k, EventKind::Routed { .. })).unwrap();
+            let exec = pos(|k| matches!(k, EventKind::Executed { .. })).unwrap();
+            assert!(deq < routed && routed < exec && exec < resolved);
+        }
+    }
+    assert_eq!(cache_hits, stats.cache_hits);
+    assert_eq!(executed, stats.executed);
+    assert_eq!(refined, stats.refinements);
+}
+
+#[test]
+fn quiesced_exports_are_byte_deterministic() {
+    let service = ServiceBuilder::new().workers(2).build();
+    run_round(&service, 3, 0);
+    // Workers are idle (every handle waited); the registry is quiesced.
+    let prom_a = export::to_prometheus(&service.metrics_snapshot());
+    let json_a = export::to_json(&service.metrics_snapshot());
+    let prom_b = export::to_prometheus(&service.metrics_snapshot());
+    let json_b = export::to_json(&service.metrics_snapshot());
+    assert_eq!(prom_a, prom_b);
+    assert_eq!(json_a, json_b);
+    // And the text form parses back to the stats totals.
+    let series = export::parse_prometheus(&prom_a).unwrap();
+    let stats = service.stats();
+    assert_eq!(
+        series["qns_serve_jobs_submitted_total"],
+        stats.submitted as f64
+    );
+    assert_eq!(
+        series["qns_serve_jobs_executed_total"],
+        stats.executed as f64
+    );
+    assert_eq!(
+        series["qns_serve_refinements_total"],
+        stats.refinements as f64
+    );
+}
+
+#[test]
+fn steady_state_recording_is_allocation_free() {
+    let service = ServiceBuilder::new().workers(2).build();
+    let registry = service.metrics_registry();
+    // Warm-up round: registers every label child this workload touches
+    // (backend names, refine level labels).
+    run_round(&service, 3, 0);
+    let warm = registry.allocation_events();
+    // Steady state: a fresh batch of distinct jobs (basis observables
+    // 8..10, disjoint from warm-up's 0..2) plus refinements records
+    // into warm handles only.
+    run_round(&service, 3, 8);
+    assert_eq!(
+        registry.allocation_events(),
+        warm,
+        "hot-path recording allocated in steady state"
+    );
+}

@@ -508,10 +508,15 @@ impl ExecutablePlan {
         input: impl Fn(usize) -> &'i [Complex64],
         ws: &'w mut Workspace,
     ) -> &'w [Complex64] {
+        // Profiling hook: a no-op atomic load unless a profiler is
+        // installed (the clock read lives in `profile`, off the
+        // determinism path this file sits on).
+        let timer = crate::profile::start_replay();
         ws.ensure(self);
         if self.n_inputs == 0 {
             ws.out[0] = Complex64::ONE;
             ws.warm_for = Some(self.id);
+            crate::profile::record_full(timer, 0);
             return &ws.out[..1];
         }
         {
@@ -529,6 +534,7 @@ impl ExecutablePlan {
         // The arena now caches every intermediate of this plan — the
         // workspace is warm for delta replay.
         ws.warm_for = Some(self.id);
+        crate::profile::record_full(timer, self.steps.len() as u64);
         &ws.out[..self.result_len]
     }
 
@@ -545,9 +551,12 @@ impl ExecutablePlan {
         ws: &'w mut Workspace,
     ) -> (&'w [Complex64], ContractionStats) {
         if ws.warm_for != Some(self.id) || self.n_inputs == 0 {
+            // The fallback records itself as a full replay inside
+            // `run`, so the timer starts after this check.
             let out = self.run(input, ws);
             return (out, self.replay_stats);
         }
+        let timer = crate::profile::start_replay();
         // Union of the dirty leaves' (individually sorted) paths, as
         // one ascending step sequence. Reuses the workspace's merge
         // buffer: no allocation once it has grown.
@@ -585,6 +594,7 @@ impl ExecutablePlan {
             self.finalize(&input, arena, out);
         }
         ws.dirty_steps = dirty_steps;
+        crate::profile::record_delta(timer, stats.contractions as u64);
         (&ws.out[..self.result_len], stats)
     }
 

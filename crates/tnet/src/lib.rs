@@ -26,6 +26,10 @@
 //!   swapped between plan executions.
 //! * [`simulator`] — the **TN-based exact method** (contract the double
 //!   network) and a TN-based quantum-trajectories variant.
+//! * [`profile`] — opt-in replay profiling: [`profile::install`] routes
+//!   per-replay timing and step counts (full vs delta) into a
+//!   [`qns_obs::Registry`]; while uninstalled the hooks cost one atomic
+//!   load, and `exec` itself never touches the wall clock.
 //!
 //! # Example
 //!
@@ -49,4 +53,5 @@ pub mod builder;
 pub mod exec;
 pub mod network;
 pub mod plan;
+pub mod profile;
 pub mod simulator;

@@ -1,0 +1,81 @@
+//! The replay profiler routes full vs delta samples into a shared
+//! registry, and costs nothing once uninstalled.
+//!
+//! One test function on purpose: the profiler switch is process-global,
+//! so this binary must not run concurrent replays with it installed.
+
+use qns_linalg::cr;
+use qns_obs::Registry;
+use qns_tensor::Tensor;
+use qns_tnet::exec::Workspace;
+use qns_tnet::network::{OrderStrategy, TensorNetwork};
+use qns_tnet::profile;
+use std::sync::Arc;
+
+fn chain3() -> TensorNetwork {
+    let mut net = TensorNetwork::new();
+    let legs: Vec<usize> = (0..4).map(|_| net.fresh_leg()).collect();
+    for (i, &(r, c)) in [(2usize, 3usize), (3, 4), (4, 2)].iter().enumerate() {
+        let data = (0..r * c).map(|v| cr(v as f64 + 1.0)).collect();
+        net.add(
+            Tensor::from_vec(data, vec![r, c]),
+            vec![legs[i], legs[i + 1]],
+        );
+    }
+    net
+}
+
+#[test]
+fn replays_record_by_mode_only_while_installed() {
+    let net = chain3();
+    let exec = net.plan(OrderStrategy::Greedy).compile();
+    let mut ws = Workspace::new();
+
+    // Before install: replays leave no trace anywhere.
+    assert!(!profile::is_enabled());
+    let _ = exec.execute_network_into(&net, &mut ws);
+
+    let registry = Arc::new(Registry::new());
+    profile::install(&registry);
+    assert!(profile::is_enabled());
+
+    let _ = exec.execute_network_into(&net, &mut ws); // full replay
+    let (_, stats) = exec.execute_network_delta_into(&net, &[0], &mut ws); // delta replay
+                                                                           // A cold-workspace delta falls back to a full replay and must be
+                                                                           // counted as one.
+    let mut cold = Workspace::new();
+    let _ = exec.execute_network_delta_into(&net, &[0], &mut cold);
+
+    profile::uninstall();
+    assert!(!profile::is_enabled());
+    let _ = exec.execute_network_into(&net, &mut ws); // unobserved
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter_value_labeled("qns_tnet_replays_total", "full"),
+        Some(2),
+        "one direct full replay + one cold-delta fallback"
+    );
+    assert_eq!(
+        snap.counter_value_labeled("qns_tnet_replays_total", "delta"),
+        Some(1)
+    );
+    let full_steps = snap
+        .histogram_value_labeled("qns_tnet_replay_steps", "full")
+        .unwrap();
+    assert_eq!(full_steps.count(), 2);
+    assert_eq!(full_steps.mean(), 2.0, "the 3-node chain lowers to 2 steps");
+    let delta_steps = snap
+        .histogram_value_labeled("qns_tnet_replay_steps", "delta")
+        .unwrap();
+    assert_eq!(delta_steps.count(), 1);
+    assert_eq!(
+        delta_steps.mean(),
+        stats.contractions as f64,
+        "delta sample counts the dirty steps actually executed"
+    );
+    let micros = snap
+        .histogram_value_labeled("qns_tnet_replay_micros", "delta")
+        .unwrap();
+    assert_eq!(micros.count(), 1, "one timing sample per observed replay");
+}
