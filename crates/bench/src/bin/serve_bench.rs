@@ -4,8 +4,8 @@
 //!
 //! Usage:
 //!   cargo run -p qns-bench --release --bin serve_bench -- \
-//!       [--smoke] [--workers W] [--level L] [--noises N] \
-//!       [--repeats R] [--observables O] [--out PATH] \
+//!       [--smoke] [--chaos SEED] [--workers W] [--level L] \
+//!       [--noises N] [--repeats R] [--observables O] [--out PATH] \
 //!       [--obs-dump PATH]
 //!
 //! Each unique job (registry circuit × observable) is submitted
@@ -32,14 +32,29 @@
 //! counts, byte-deterministic exports, and an `--obs-dump` file that
 //! parses and covers the whole `qns_obs::catalog::CATALOG` — so a
 //! serving or observability regression fails the pipeline.
+//!
+//! `--chaos SEED` is the fault-tolerance smoke: the same duplicate-heavy
+//! workload against engines wrapped in [`qns_serve::ChaosBackend`]
+//! under a seeded `FaultPlan` (injected errors, panics, latency), with
+//! the retry/failover, circuit-breaker and deadline-watchdog machinery
+//! enabled. It asserts the recovery contract — every handle resolves
+//! exactly once (Ok or Err, never a hang), faults actually fired, and
+//! nothing is left in flight — and records the recovery counters
+//! (retries, failovers, timeouts, shed, degraded, breaker opens) plus
+//! a `chaos` block in the report, so CI tracks how much chaos the
+//! serving layer absorbed. The schedule is replayable: the same seed
+//! injects the same per-failpoint firing sequence.
 
-use qns_api::{ApproxBackend, InitialState, Observable};
+use qns_api::{ApproxBackend, DensityBackend, InitialState, Observable, TnetBackend};
 use qns_bench::registry::{default_set, smoke_set, BenchCircuit};
 use qns_bench::timing::time_it;
 use qns_bench::{arg_flag, arg_usize, print_row};
 use qns_noise::{channels, NoisyCircuit};
 use qns_obs::{catalog, export, json, MetricsSnapshot};
-use qns_serve::{default_engines, JobSpec, Route, Service, ServiceBuilder, ServiceStats};
+use qns_serve::{
+    default_engines, ChaosBackend, FaultPlan, JobSpec, RetryPolicy, Route, Service, ServiceBuilder,
+    ServiceStats, TimeoutPolicy,
+};
 use std::io::Write;
 use std::sync::Arc;
 
@@ -105,6 +120,56 @@ fn run_workload(service: &Service, specs: &[JobSpec], repeats: usize) -> f64 {
     elapsed
 }
 
+/// The default engine trio wrapped in [`ChaosBackend`]s sharing one
+/// seeded plan, mirroring the fault-tolerance suite's setup. Wrapping
+/// is transparent to routing (names, support and cost hints all
+/// delegate), so chaos runs exercise the same Auto decisions.
+fn chaos_engines(level: usize, plan: &Arc<FaultPlan>) -> Vec<qns_serve::SharedBackend> {
+    vec![
+        Arc::new(ChaosBackend::new(
+            ApproxBackend::level(level),
+            Arc::clone(plan),
+        )),
+        Arc::new(ChaosBackend::new(DensityBackend::new(), Arc::clone(plan))),
+        Arc::new(ChaosBackend::new(TnetBackend::new(), Arc::clone(plan))),
+    ]
+}
+
+/// Chaos-mode workload: the same duplicate-heavy submission pattern,
+/// but tolerant of injected failures — a job that exhausted its retry
+/// budget resolves `Err`, which is a legitimate chaos outcome. What is
+/// *not* legitimate is a handle that never resolves; `wait` returning
+/// at all is the contract under test. Returns (ok, err, wall seconds).
+fn run_chaos_workload(service: &Service, specs: &[JobSpec], repeats: usize) -> (u64, u64, f64) {
+    let mut ok = 0u64;
+    let mut err = 0u64;
+    let ((), wall) = time_it(|| {
+        let handles: Vec<_> = (0..repeats)
+            .flat_map(|_| specs.iter())
+            .map(|spec| {
+                service
+                    .submit(spec)
+                    .expect("chaos run leaves admission open")
+            })
+            .collect();
+        for h in &handles {
+            match h.wait() {
+                Ok(_) => ok += 1,
+                Err(_) => err += 1,
+            }
+        }
+    });
+    (ok, err, wall)
+}
+
+/// Chaos-mode summary recorded into the report's `chaos` block.
+struct ChaosSummary {
+    seed: u64,
+    faults_fired: u64,
+    resolved_ok: u64,
+    resolved_err: u64,
+}
+
 /// The submission window in seconds, read from the registry's window
 /// gauges: first accepted submission to last resolution. Harness setup
 /// (spec construction, service build) is outside it by construction.
@@ -144,6 +209,7 @@ fn write_report(
     wall: f64,
     stats: &ServiceStats,
     snap: &MetricsSnapshot,
+    chaos: Option<&ChaosSummary>,
 ) {
     let mut backends = String::new();
     for (i, (name, b)) in stats.per_backend.iter().enumerate() {
@@ -155,11 +221,20 @@ fn write_report(
             b.jobs, b.seconds
         ));
     }
+    let chaos_block = chaos.map_or(String::new(), |c| {
+        format!(
+            "\"chaos\":{{\"seed\":{},\"faults_fired\":{},\"resolved_ok\":{},\
+             \"resolved_err\":{}}},",
+            c.seed, c.faults_fired, c.resolved_ok, c.resolved_err
+        )
+    });
     let json = format!(
         "{{\"mode\":\"{mode}\",\"workers\":{workers},\"unique_jobs\":{unique},\
          \"submitted\":{submitted},\"executed\":{},\"cache_hits\":{},\
          \"cache_misses\":{},\"cache_evictions\":{},\"dedup_joins\":{},\
-         \"hit_rate\":{:.4},\"queue_high_water\":{},\"elapsed_seconds\":{:.6},\
+         \"hit_rate\":{:.4},\"queue_high_water\":{},\"retries\":{},\
+         \"failovers\":{},\"timeouts\":{},\"shed\":{},\"degraded\":{},\
+         \"breaker_opens\":{},{chaos_block}\"elapsed_seconds\":{:.6},\
          \"wall_seconds\":{:.6},\"throughput_jobs_per_sec\":{:.2},\
          \"queue_wait\":{},\"e2e_latency\":{},\"backends\":{{{backends}}}}}\n",
         stats.executed,
@@ -169,6 +244,12 @@ fn write_report(
         stats.dedup_joins,
         stats.cache_hit_rate(),
         stats.queue_high_water,
+        stats.retries,
+        stats.failovers,
+        stats.timeouts,
+        stats.shed,
+        stats.degraded,
+        stats.breaker_opens,
         elapsed,
         wall,
         submitted as f64 / elapsed.max(1e-9),
@@ -182,48 +263,95 @@ fn write_report(
 
 fn main() {
     let smoke = arg_flag("--smoke");
+    let chaos_seed = arg_str("--chaos").map(|s| {
+        s.parse::<u64>()
+            .expect("--chaos takes the u64 fault-plan seed")
+    });
     let workers = arg_usize("--workers", 4);
     let level = arg_usize("--level", 1);
-    let noises = arg_usize("--noises", if smoke { 6 } else { 8 });
+    let noises = arg_usize(
+        "--noises",
+        if smoke || chaos_seed.is_some() { 6 } else { 8 },
+    );
     let repeats = arg_usize("--repeats", 4);
     let observables = arg_usize("--observables", 2);
     let out = arg_str("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let obs_dump = arg_str("--obs-dump");
 
-    let set = if smoke { smoke_set() } else { default_set() };
+    // Chaos runs use the smoke registry set: the point is the recovery
+    // machinery, not throughput, and CI wants it quick.
+    let set = if smoke || chaos_seed.is_some() {
+        smoke_set()
+    } else {
+        default_set()
+    };
     let specs = build_specs(&set, noises, observables);
     let unique = specs.len();
     let total = unique * repeats;
 
     println!(
         "serve_bench — {} unique jobs × {repeats} submissions = {total} total, \
-         {workers} workers, level-{level} approximation, Route::Auto\n",
-        unique
+         {workers} workers, level-{level} approximation, Route::Auto{}\n",
+        unique,
+        chaos_seed.map_or(String::new(), |s| format!(", chaos seed {s}")),
     );
 
-    // The default engine set, with the approximation level configurable
-    // (the one knob the mixed workload is sensitive to). Replace the
-    // approx engine by name, not position, so a reordered
-    // `default_engines()` can't silently swap out a different engine.
-    let mut engines = default_engines();
-    let approx = engines
-        .iter_mut()
-        .find(|e| e.name() == "approx")
-        .expect("default_engines() always includes the approx engine");
-    *approx = Arc::new(ApproxBackend::level(level));
-    let service = ServiceBuilder::new()
-        .workers(workers)
-        .cache_capacity(2 * unique)
-        .route(Route::Auto)
-        .engines(engines)
-        .build();
+    let plan = chaos_seed.map(|seed| {
+        // Error/panic/latency mix aggressive enough that every recovery
+        // path fires on the smoke set, bounded so retries converge.
+        Arc::new(
+            FaultPlan::new(seed)
+                .with_error("backend.error", 250)
+                .with_error("backend.panic", 100)
+                .with_delay("backend.delay", 150, 200),
+        )
+    });
+    let service = if let Some(plan) = &plan {
+        // Chaos-wrapped engine trio with the full recovery stack:
+        // bounded retries with failover, per-engine breakers (default
+        // policy), and the deadline watchdog.
+        ServiceBuilder::new()
+            .workers(workers)
+            .cache_capacity(2 * unique)
+            .route(Route::Auto)
+            .engines(chaos_engines(level, plan))
+            .retry_policy(RetryPolicy {
+                seed: plan.seed(),
+                ..RetryPolicy::default()
+            })
+            .timeout_policy(TimeoutPolicy::default())
+            .build()
+    } else {
+        // The default engine set, with the approximation level
+        // configurable (the one knob the mixed workload is sensitive
+        // to). Replace the approx engine by name, not position, so a
+        // reordered `default_engines()` can't silently swap out a
+        // different engine.
+        let mut engines = default_engines();
+        let approx = engines
+            .iter_mut()
+            .find(|e| e.name() == "approx")
+            .expect("default_engines() always includes the approx engine");
+        *approx = Arc::new(ApproxBackend::level(level));
+        ServiceBuilder::new()
+            .workers(workers)
+            .cache_capacity(2 * unique)
+            .route(Route::Auto)
+            .engines(engines)
+            .build()
+    };
 
     // Route the compiled-plan replay profiler into the service's own
     // registry, so the dump carries full/delta replay counters next to
     // the serving metrics.
     qns_tnet::profile::install(&service.metrics_registry());
 
-    let wall = run_workload(&service, &specs, repeats);
+    let (chaos_resolved, wall) = if plan.is_some() {
+        let (ok, err, wall) = run_chaos_workload(&service, &specs, repeats);
+        (Some((ok, err)), wall)
+    } else {
+        (None, run_workload(&service, &specs, repeats))
+    };
     qns_tnet::profile::uninstall();
     let stats = service.stats();
     let snap = service.metrics_snapshot();
@@ -280,7 +408,61 @@ fn main() {
         );
     }
 
-    if smoke {
+    let chaos_summary = plan.as_ref().map(|plan| {
+        let (ok, err) = chaos_resolved.expect("chaos workload ran");
+        ChaosSummary {
+            seed: plan.seed(),
+            faults_fired: plan.total_fired(),
+            resolved_ok: ok,
+            resolved_err: err,
+        }
+    });
+    if let Some(c) = &chaos_summary {
+        println!();
+        let rows: Vec<(&str, String)> = vec![
+            ("faults fired", c.faults_fired.to_string()),
+            ("resolved ok", c.resolved_ok.to_string()),
+            ("resolved err", c.resolved_err.to_string()),
+            ("retries", stats.retries.to_string()),
+            ("failovers", stats.failovers.to_string()),
+            ("timeouts", stats.timeouts.to_string()),
+            ("shed", stats.shed.to_string()),
+            ("degraded", stats.degraded.to_string()),
+            ("breaker opens", stats.breaker_opens.to_string()),
+        ];
+        for (label, value) in rows {
+            print_row(&[label.to_string(), value], &widths);
+        }
+        for (name, state) in service.breaker_states() {
+            print_row(&[format!("breaker {name}"), format!("{state:?}")], &widths);
+        }
+
+        // The recovery-contract tripwires (CI runs this mode).
+        assert_eq!(
+            c.resolved_ok + c.resolved_err,
+            total as u64,
+            "every chaos handle resolves exactly once — Ok or Err, never a hang"
+        );
+        assert!(
+            c.faults_fired > 0,
+            "a chaos run with error/panic/delay rules must inject something"
+        );
+        assert_eq!(
+            stats.inflight, 0,
+            "no flight may outlive its last resolution"
+        );
+        assert!(
+            stats.retries + stats.timeouts > 0,
+            "injected faults must exercise the recovery machinery"
+        );
+        println!(
+            "\nrecovery contract holds: {} faults absorbed, {} retries, \
+             {} failovers, {} timeouts, every handle resolved",
+            c.faults_fired, stats.retries, stats.failovers, stats.timeouts
+        );
+    }
+
+    if smoke && chaos_summary.is_none() {
         // The serving-invariant tripwires (CI runs this mode).
         assert_eq!(
             stats.executed, unique as u64,
@@ -385,7 +567,13 @@ fn main() {
 
     write_report(
         &out,
-        if smoke { "smoke" } else { "default" },
+        if chaos_summary.is_some() {
+            "chaos"
+        } else if smoke {
+            "smoke"
+        } else {
+            "default"
+        },
         workers,
         unique,
         stats.submitted,
@@ -393,5 +581,6 @@ fn main() {
         wall,
         &stats,
         &snap,
+        chaos_summary.as_ref(),
     );
 }

@@ -49,7 +49,8 @@ fn parse_args() -> Result<Args, String> {
                      --deny              exit nonzero on findings or ratchet growth\n\
                      --update-baseline   rewrite the baseline to current counts\n\n\
                      Rules: determinism, panic (ratcheted), zero-alloc,\n\
-                     lock-registry, metric-registry. Suppress a site with\n\
+                     lock-registry, metric-registry, failpoint-registry.\n\
+                     Suppress a site with\n\
                      `// qns-lint: allow(rule)` on the same line or the line\n\
                      above. See docs/ANALYSIS.md."
                 );
@@ -121,7 +122,8 @@ fn run() -> Result<ExitCode, String> {
     println!(
         "qns-lint: {} files, {} findings ({} suppressed), {} panic-prone sites \
          across {} crates, {} zero-alloc fns, {} registered lock sites, \
-         {} metric sites against a {}-name catalog, lock order [{}]",
+         {} metric sites against a {}-name catalog, {} failpoint sites \
+         against a {}-name registry, lock order [{}]",
         analysis.files_scanned,
         analysis.findings.len(),
         analysis.suppressed,
@@ -131,6 +133,8 @@ fn run() -> Result<ExitCode, String> {
         analysis.lock_sites,
         analysis.metric_sites,
         analysis.metric_catalog.len(),
+        analysis.failpoint_sites,
+        analysis.failpoints.len(),
         analysis.lock_order.join(" -> "),
     );
 

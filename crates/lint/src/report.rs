@@ -26,6 +26,12 @@ pub fn to_json(analysis: &Analysis, ratchet: &[RatchetRow]) -> String {
         "  \"metric_catalog_size\": {},",
         analysis.metric_catalog.len()
     );
+    let _ = writeln!(out, "  \"failpoint_sites\": {},", analysis.failpoint_sites);
+    let _ = writeln!(
+        out,
+        "  \"failpoint_registry_size\": {},",
+        analysis.failpoints.len()
+    );
     let _ = writeln!(out, "  \"suppressed\": {},", analysis.suppressed);
 
     out.push_str("  \"lock_order\": [");

@@ -1,5 +1,5 @@
 //! The rule engine: walks lexed files and enforces the workspace's
-//! five invariant families. See `docs/ANALYSIS.md` for the catalog and
+//! six invariant families. See `docs/ANALYSIS.md` for the catalog and
 //! the rationale behind each rule.
 
 use crate::lexer::{lex, Lexed, Tok, TokKind};
@@ -17,6 +17,8 @@ pub mod rule {
     pub const LOCK_REGISTRY: &str = "lock-registry";
     /// Metric names must be string literals from `obs::CATALOG`.
     pub const METRIC_REGISTRY: &str = "metric-registry";
+    /// Failpoint names must be string literals from `faults::FAILPOINTS`.
+    pub const FAILPOINT_REGISTRY: &str = "failpoint-registry";
 }
 
 /// Files on the bit-reproducibility path: fingerprints, cache keys,
@@ -119,6 +121,12 @@ pub struct Analysis {
     /// The metric catalog parsed out of `crates/obs/src/catalog.rs`
     /// (empty when that file is absent from the scanned set).
     pub metric_catalog: Vec<String>,
+    /// `failpoint(…)` consultations verified against the registry.
+    pub failpoint_sites: usize,
+    /// The failpoint registry parsed out of
+    /// `crates/serve/src/faults.rs` (empty when that file is absent
+    /// from the scanned set).
+    pub failpoints: Vec<String>,
     /// Findings silenced by `// qns-lint: allow(rule)` directives.
     pub suppressed: usize,
 }
@@ -141,6 +149,9 @@ pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
         if path == "crates/obs/src/catalog.rs" {
             analysis.metric_catalog = parse_metric_catalog(&lex(content));
         }
+        if path == "crates/serve/src/faults.rs" {
+            analysis.failpoints = parse_failpoints(&lex(content));
+        }
     }
 
     for (path, content) in files {
@@ -157,6 +168,7 @@ pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
         file.zero_alloc();
         file.lock_registry();
         file.metric_registry();
+        file.failpoint_registry();
     }
 
     analysis.findings.sort();
@@ -471,6 +483,64 @@ impl FileCx<'_> {
             }
         }
     }
+    /// Rule `failpoint-registry`: in `qns-serve`, every fault-injection
+    /// consultation (`plan.failpoint("…")`, `faults::failpoint("…")`)
+    /// names its failpoint as a string literal declared in
+    /// `qns_serve::faults::FAILPOINTS`, so a chaos seed's replayed
+    /// schedule can never reference a failpoint the registry (and its
+    /// documented contract) does not know about.
+    fn failpoint_registry(&mut self) {
+        if !self.path.starts_with("crates/serve/src/") {
+            return;
+        }
+        let registry = self.analysis.failpoints.clone();
+        let toks = &self.lexed.toks;
+        for i in 0..toks.len() {
+            if self.is_test_tok(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if !t.is_ident("failpoint") {
+                continue;
+            }
+            // A consultation: `.failpoint(` or `::failpoint(`, not the
+            // definition (`fn failpoint`) or a doc reference.
+            if i == 0
+                || !(toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'))
+                || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                continue;
+            }
+            self.analysis.failpoint_sites += 1;
+            let line = t.line;
+            match toks.get(i + 2) {
+                Some(name) if name.kind == TokKind::Str => {
+                    if !registry.iter().any(|r| r == &name.text) {
+                        let n = name.text.clone();
+                        self.report(
+                            rule::FAILPOINT_REGISTRY,
+                            line,
+                            format!(
+                                "failpoint \"{n}\" is not declared in \
+                                 qns_serve::faults::FAILPOINTS; add it to the \
+                                 registry (with its contract documented) first"
+                            ),
+                        );
+                    }
+                }
+                _ => {
+                    self.report(
+                        rule::FAILPOINT_REGISTRY,
+                        line,
+                        "failpoint(…) must name its failpoint as a string literal \
+                         from qns_serve::faults::FAILPOINTS (the analyzer cannot \
+                         resolve expressions)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Iterates the rule names inside an `allow(a, b, …)` payload.
@@ -621,6 +691,22 @@ fn parse_metric_catalog(lexed: &Lexed) -> Vec<String> {
     names
 }
 
+/// Extracts the declared failpoint names from the lexed
+/// `crates/serve/src/faults.rs` (every string literal between the
+/// `FAILPOINTS` ident and the `;` closing its const initializer).
+fn parse_failpoints(lexed: &Lexed) -> Vec<String> {
+    let toks = &lexed.toks;
+    let Some(at) = toks.iter().position(|t| t.is_ident("FAILPOINTS")) else {
+        return Vec::new();
+    };
+    toks[at..]
+        .iter()
+        .take_while(|t| !t.is_punct(';'))
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -753,6 +839,55 @@ mod tests {
         assert!(mr
             .iter()
             .any(|f| f.message.contains("string literal") && f.file == "crates/serve/src/obs.rs"));
+    }
+
+    #[test]
+    fn failpoint_registry_validates_names_against_the_registry() {
+        let faults = "pub const FAILPOINTS: &[&str] = &[\"backend.error\", \"cache.probe\"];\n\
+                      pub fn failpoint(name: &str) -> FaultAction { FaultAction::None }\n";
+        let service = "fn probe(plan: &FaultPlan) {\n\
+                       let a = plan.failpoint(\"cache.probe\");\n\
+                       let b = faults::failpoint(\"serve.rogue\");\n\
+                       let name = \"backend.error\";\n\
+                       let c = plan.failpoint(name);\n\
+                       // qns-lint: allow(failpoint-registry)\n\
+                       let d = plan.failpoint(\"serve.offbook\");\n}\n";
+        let a = analyze_sources(&files(&[
+            ("crates/serve/src/faults.rs", faults),
+            ("crates/serve/src/service.rs", service),
+        ]));
+        assert_eq!(
+            a.failpoints,
+            vec!["backend.error".to_string(), "cache.probe".to_string()]
+        );
+        assert_eq!(a.failpoint_sites, 4);
+        let fr: Vec<_> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == rule::FAILPOINT_REGISTRY)
+            .collect();
+        assert_eq!(fr.len(), 2, "{fr:?}");
+        assert!(fr.iter().any(|f| f.message.contains("serve.rogue")));
+        assert!(fr.iter().any(|f| f.message.contains("string literal")));
+        assert_eq!(a.suppressed, 1);
+    }
+
+    #[test]
+    fn failpoint_registry_skips_definitions_other_crates_and_tests() {
+        let faults = "pub const FAILPOINTS: &[&str] = &[\"backend.error\"];";
+        let core = "fn f(plan: &FaultPlan) { let _ = plan.failpoint(\"core.rogue\"); }";
+        let serve = "#[cfg(test)]\n\
+                     mod tests { fn f(plan: &FaultPlan) { let _ = plan.failpoint(\"free.name\"); } }\n";
+        let a = analyze_sources(&files(&[
+            ("crates/serve/src/faults.rs", faults),
+            ("crates/core/src/approx.rs", core),
+            ("crates/serve/src/refine.rs", serve),
+        ]));
+        assert_eq!(a.failpoint_sites, 0);
+        assert!(a
+            .findings
+            .iter()
+            .all(|f| f.rule != rule::FAILPOINT_REGISTRY));
     }
 
     #[test]

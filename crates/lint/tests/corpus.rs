@@ -14,7 +14,7 @@ fn fixture(path: &str) -> std::path::PathBuf {
 
 fn analyze_corpus() -> rules::Analysis {
     let sources = collect_sources(&fixture("corpus")).expect("collect fixture corpus");
-    assert_eq!(sources.len(), 7, "fixture corpus drifted");
+    assert_eq!(sources.len(), 8, "fixture corpus drifted");
     rules::analyze_sources(&sources)
 }
 
@@ -61,6 +61,14 @@ fn corpus_findings_are_exactly_the_seeded_violations() {
         ],
         "rogue metric name, non-literal metric name"
     );
+    assert_eq!(
+        by_rule(rule::FAILPOINT_REGISTRY),
+        vec![
+            ("crates/serve/src/faults.rs", 9),
+            ("crates/serve/src/faults.rs", 11),
+        ],
+        "rogue failpoint name, non-literal failpoint name"
+    );
 
     // Ratchet: two countable sites in core lib code, none elsewhere;
     // the cfg(test) unwraps and the allow(panic) expect are invisible.
@@ -70,8 +78,9 @@ fn corpus_findings_are_exactly_the_seeded_violations() {
     assert_eq!(a.panic_counts.get("tnet"), Some(&0));
 
     // 2 suppressed determinism hits on plan.rs:8 + 1 suppressed panic
-    // + 1 suppressed off-book metric on obs.rs:11.
-    assert_eq!(a.suppressed, 4);
+    // + 1 suppressed off-book metric on obs.rs:11 + 1 suppressed
+    // off-book failpoint on faults.rs:13.
+    assert_eq!(a.suppressed, 5);
     assert_eq!(a.zero_alloc_functions, 2);
     assert_eq!(a.lock_sites, 3);
     assert_eq!(a.lock_order, vec!["fixture.outer", "fixture.inner"]);
@@ -82,6 +91,11 @@ fn corpus_findings_are_exactly_the_seeded_violations() {
         a.metric_catalog,
         vec!["qns_fixture_jobs_total", "qns_fixture_queue_depth"]
     );
+    // The declared literal, the rogue literal, the non-literal and the
+    // suppressed off-book consult count; the cfg(test) one and the
+    // `fn failpoint` definition never do.
+    assert_eq!(a.failpoint_sites, 4);
+    assert_eq!(a.failpoints, vec!["fixture.flip", "fixture.stall"]);
 }
 
 #[test]

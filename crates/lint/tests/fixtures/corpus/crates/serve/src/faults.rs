@@ -1,0 +1,27 @@
+//! Fixture: failpoint-registry rule. The registry itself, one declared
+//! call site, one rogue literal, one non-literal name, one suppressed
+//! off-book site, plus a test-side consult the rule must not see.
+
+pub const FAILPOINTS: &[&str] = &["fixture.flip", "fixture.stall"];
+
+pub fn consult(plan: &FaultPlan) {
+    let _ok = plan.failpoint("fixture.flip");
+    let _rogue = plan.failpoint("fixture.rogue");
+    let name = "fixture.stall";
+    let _dynamic = plan.failpoint(name);
+    // qns-lint: allow(failpoint-registry)
+    let _offbook = plan.failpoint("fixture.offbook");
+}
+
+pub fn failpoint(name: &str) -> FaultAction {
+    FaultAction::None
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_consults_are_free() {
+        let plan = FaultPlan::default();
+        let _ = plan.failpoint("fixture.test_only");
+    }
+}

@@ -80,6 +80,23 @@ pub enum QnsError {
         /// The panic payload, when it was a string.
         reason: String,
     },
+    /// The job's serving deadline elapsed before a result was
+    /// published; the watchdog resolved the handle so no caller hangs.
+    /// The job itself may be valid — a slow or hung engine, not a
+    /// malformed request — so retrying (ideally on another engine) is
+    /// reasonable.
+    Timeout {
+        /// Microseconds the job was given before the watchdog fired.
+        after_micros: u64,
+    },
+    /// The service shed the job at admission because queue pressure ×
+    /// estimated cost exceeded its overload threshold. Transient by
+    /// definition: resubmitting after client-side backoff is the
+    /// intended response.
+    Overloaded {
+        /// Queue depth observed at the admission decision.
+        queue_depth: usize,
+    },
 }
 
 impl fmt::Display for QnsError {
@@ -124,7 +141,44 @@ impl fmt::Display for QnsError {
             QnsError::ExecutionPanicked { reason } => {
                 write!(f, "execution panicked: {reason}")
             }
+            QnsError::Timeout { after_micros } => {
+                write!(f, "job timed out after {after_micros} µs")
+            }
+            QnsError::Overloaded { queue_depth } => {
+                write!(
+                    f,
+                    "service overloaded (queue depth {queue_depth}); retry after backoff"
+                )
+            }
         }
+    }
+}
+
+impl QnsError {
+    /// Whether resubmitting the *same* job can plausibly succeed.
+    ///
+    /// Retryable — the failure is about the execution environment, not
+    /// the request:
+    /// * [`QnsError::ExecutionPanicked`] — a contained engine crash;
+    ///   another engine (or a second attempt) may well succeed.
+    /// * [`QnsError::Timeout`] — the deadline elapsed; a retry against
+    ///   a less loaded service or a cheaper engine can finish in time.
+    /// * [`QnsError::Overloaded`] — admission-control shedding; the
+    ///   job was never examined, resubmit after client-side backoff.
+    ///
+    /// Not retryable — deterministic functions of the request itself,
+    /// so an identical resubmission fails identically:
+    /// [`QnsError::SizeMismatch`], [`QnsError::IndexOutOfRange`],
+    /// [`QnsError::NotSingleQubit`], [`QnsError::TermBudgetExceeded`],
+    /// [`QnsError::TooLarge`], [`QnsError::InvalidJob`] and
+    /// [`QnsError::Unsupported`].
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            QnsError::ExecutionPanicked { .. }
+                | QnsError::Timeout { .. }
+                | QnsError::Overloaded { .. }
+        )
     }
 }
 
@@ -162,6 +216,41 @@ mod tests {
 
         let e = QnsError::NotSingleQubit { dim: 4 };
         assert!(e.to_string().contains("single-qubit"));
+    }
+
+    #[test]
+    fn retryability_partitions_the_variants() {
+        assert!(QnsError::ExecutionPanicked {
+            reason: "boom".into()
+        }
+        .is_retryable());
+        assert!(QnsError::Timeout { after_micros: 5 }.is_retryable());
+        assert!(QnsError::Overloaded { queue_depth: 9 }.is_retryable());
+        assert!(!QnsError::InvalidJob {
+            reason: "empty".into()
+        }
+        .is_retryable());
+        assert!(!QnsError::Unsupported {
+            backend: "density",
+            reason: "too big".into()
+        }
+        .is_retryable());
+        assert!(!QnsError::TooLarge {
+            what: "density reconstruction",
+            n: 20,
+            limit: 12
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn fault_tolerance_variants_display_their_context() {
+        let e = QnsError::Timeout { after_micros: 1234 };
+        assert!(e.to_string().contains("timed out"));
+        assert!(e.to_string().contains("1234"));
+        let e = QnsError::Overloaded { queue_depth: 17 };
+        assert!(e.to_string().contains("overloaded"));
+        assert!(e.to_string().contains("17"));
     }
 
     #[test]

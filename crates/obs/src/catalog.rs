@@ -175,6 +175,49 @@ pub const CATALOG: &[MetricDef] = &[
         label: None,
         help: "Microseconds to freshly compute one refinement level",
     },
+    // --- qns-serve: fault tolerance ------------------------------------
+    MetricDef {
+        name: "qns_serve_retries_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Execution attempts beyond the first (retry policy re-submissions)",
+    },
+    MetricDef {
+        name: "qns_serve_failovers_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Retries that re-routed to a different engine than the failed attempt",
+    },
+    MetricDef {
+        name: "qns_serve_timeouts_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Jobs resolved with QnsError::Timeout by the deadline watchdog",
+    },
+    MetricDef {
+        name: "qns_serve_shed_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Submissions rejected with QnsError::Overloaded by admission control",
+    },
+    MetricDef {
+        name: "qns_serve_degraded_total",
+        kind: MetricKind::Counter,
+        label: None,
+        help: "Refinements admitted at a shallower Theorem-1 first level under overload",
+    },
+    MetricDef {
+        name: "qns_serve_breaker_state",
+        kind: MetricKind::Gauge,
+        label: Some("backend"),
+        help: "Circuit-breaker state per engine (0 = closed, 1 = half-open, 2 = open)",
+    },
+    MetricDef {
+        name: "qns_serve_breaker_opens_total",
+        kind: MetricKind::Counter,
+        label: Some("backend"),
+        help: "Closed/half-open to open transitions per engine circuit breaker",
+    },
     // --- qns-serve: event journal and measurement window ---------------
     MetricDef {
         name: "qns_serve_events_dropped_total",

@@ -287,6 +287,41 @@ pub fn events_to_json(drained: &DrainedEvents) -> String {
                     "\"type\": \"refine_level\", \"level\": {level}, \"patterns\": {patterns}, \"micros\": {micros}, \"from_cache\": {from_cache}"
                 );
             }
+            EventKind::Retried {
+                attempt,
+                backoff_micros,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\": \"retried\", \"attempt\": {attempt}, \"backoff_micros\": {backoff_micros}"
+                );
+            }
+            EventKind::FailedOver { from, to } => {
+                let _ = write!(
+                    out,
+                    "\"type\": \"failed_over\", \"from\": \"{}\", \"to\": \"{}\"",
+                    json_escape(from),
+                    json_escape(to)
+                );
+            }
+            EventKind::TimedOut { after_micros } => {
+                let _ = write!(
+                    out,
+                    "\"type\": \"timed_out\", \"after_micros\": {after_micros}"
+                );
+            }
+            EventKind::Degraded {
+                requested_level,
+                served_level,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\": \"degraded\", \"requested_level\": {requested_level}, \"served_level\": {served_level}"
+                );
+            }
+            EventKind::Shed { queue_depth } => {
+                let _ = write!(out, "\"type\": \"shed\", \"queue_depth\": {queue_depth}");
+            }
             EventKind::Resolved { ok } => {
                 let _ = write!(out, "\"type\": \"resolved\", \"ok\": {ok}");
             }

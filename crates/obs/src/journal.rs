@@ -68,6 +68,40 @@ pub enum EventKind {
         /// Whether the level was replayed from the partial-sum cache.
         from_cache: bool,
     },
+    /// A failed attempt is being retried under the service's
+    /// `RetryPolicy`.
+    Retried {
+        /// The attempt number about to run (2 = first retry).
+        attempt: u32,
+        /// Backoff slept before this attempt, in microseconds.
+        backoff_micros: u64,
+    },
+    /// A retry re-routed to a different engine than the failed attempt.
+    FailedOver {
+        /// Engine the failed attempt ran on.
+        from: &'static str,
+        /// Engine the retry routed to.
+        to: &'static str,
+    },
+    /// The deadline watchdog resolved the job with `QnsError::Timeout`.
+    TimedOut {
+        /// Microseconds the job was given before the watchdog fired.
+        after_micros: u64,
+    },
+    /// Admission control admitted a refinement at a shallower
+    /// (degraded-but-bounded) first level than its budget asked for.
+    Degraded {
+        /// First level the request's budget would have bought.
+        requested_level: u32,
+        /// First level actually promised under overload.
+        served_level: u32,
+    },
+    /// Admission control rejected the submission with
+    /// `QnsError::Overloaded`.
+    Shed {
+        /// Queue depth at the admission decision.
+        queue_depth: u32,
+    },
     /// The job's handle was resolved (value or error published).
     Resolved {
         /// Whether a value (vs an error) was published.

@@ -394,6 +394,16 @@ impl Registry {
         panic!("metric `{name}` is not an unlabeled gauge")
     }
 
+    /// Handle to one labeled gauge series. Panics if `name` is not a
+    /// labeled catalog gauge.
+    pub fn gauge_labeled(&self, name: &str, label: &str) -> Gauge {
+        if let Handle::Gauge(g) = self.handle(name, label) {
+            return g;
+        }
+        // qns-lint: allow(panic)
+        panic!("metric `{name}` is not a labeled gauge")
+    }
+
     /// Handle to an unlabeled histogram. Panics if `name` is not a
     /// catalog histogram.
     pub fn histogram(&self, name: &str) -> Histogram {
@@ -548,6 +558,14 @@ impl MetricsSnapshot {
     /// Value + high-water of an unlabeled gauge.
     pub fn gauge_value(&self, name: &str) -> Option<GaugeSnapshot> {
         match self.child(name, "")? {
+            ValueSnapshot::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Value + high-water of one labeled gauge series.
+    pub fn gauge_value_labeled(&self, name: &str, label: &str) -> Option<GaugeSnapshot> {
+        match self.child(name, label)? {
             ValueSnapshot::Gauge(g) => Some(*g),
             _ => None,
         }

@@ -21,7 +21,12 @@ fn seed(reg: &Registry, values: &[u64]) {
                 g.set(v as i64);
                 g.add(-((v / 2) as i64));
             }
-            (MetricKind::Gauge, true) => unreachable!("no labeled gauges in the catalog"),
+            (MetricKind::Gauge, true) => {
+                let a = reg.gauge_labeled(def.name, "a");
+                a.set(v as i64);
+                a.add(-((v / 2) as i64));
+                reg.gauge_labeled(def.name, "b").set((v / 3) as i64);
+            }
             (MetricKind::Histogram, false) => {
                 let h = reg.histogram(def.name);
                 h.record(v);
@@ -83,9 +88,11 @@ proptest! {
                         prop_assert_eq!(got, want, "{}{{{}}}", def.name, label);
                     }
                     MetricKind::Gauge => {
-                        let g = snap.gauge_value(def.name).ok_or_else(|| {
-                            proptest::test_runner::TestCaseError::fail("gauge missing")
-                        })?;
+                        let g = snap.gauge_value_labeled(def.name, label)
+                            .or_else(|| snap.gauge_value(def.name))
+                            .ok_or_else(|| {
+                                proptest::test_runner::TestCaseError::fail("gauge missing")
+                            })?;
                         prop_assert_eq!(child.get("value").and_then(|v| v.as_i64()), Some(g.value));
                         prop_assert_eq!(
                             child.get("high_water").and_then(|v| v.as_i64()),
@@ -127,12 +134,28 @@ proptest! {
                         prop_assert_eq!(series[&format!("{}{{{key}=\"{label}\"}}", def.name)], want);
                     }
                 }
-                (MetricKind::Gauge, _) => {
+                (MetricKind::Gauge, false) => {
                     let g = snap.gauge_value(def.name).ok_or_else(|| {
                         proptest::test_runner::TestCaseError::fail("gauge missing")
                     })?;
                     prop_assert_eq!(series[def.name], g.value as f64);
                     prop_assert_eq!(series[&format!("{}_high_water", def.name)], g.high_water as f64);
+                }
+                (MetricKind::Gauge, true) => {
+                    let key = def.label.unwrap_or("?");
+                    for label in ["a", "b"] {
+                        let g = snap.gauge_value_labeled(def.name, label).ok_or_else(|| {
+                            proptest::test_runner::TestCaseError::fail("gauge missing")
+                        })?;
+                        prop_assert_eq!(
+                            series[&format!("{}{{{key}=\"{label}\"}}", def.name)],
+                            g.value as f64
+                        );
+                        prop_assert_eq!(
+                            series[&format!("{}_high_water{{{key}=\"{label}\"}}", def.name)],
+                            g.high_water as f64
+                        );
+                    }
                 }
                 (MetricKind::Histogram, false) => {
                     let h = snap.histogram_value(def.name).ok_or_else(|| {

@@ -64,18 +64,23 @@
 //! # Ok::<(), qns_serve::QnsError>(())
 //! ```
 
+pub mod breaker;
 pub mod cache;
+pub mod faults;
 mod obs;
 pub mod refine;
 pub mod router;
 mod service;
 pub mod sync;
 
+pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
 pub use cache::{CacheCounters, LruCache};
+pub use faults::{ChaosBackend, FaultAction, FaultPlan, FAILPOINTS};
 pub use refine::{LevelSum, RefineRequest, RefinementHandle, RefinementUpdate};
-pub use router::{route_job, Route, SharedBackend};
+pub use router::{route_job, route_job_masked, Route, SharedBackend};
 pub use service::{
-    default_engines, BackendStats, JobHandle, JobSpec, Service, ServiceBuilder, ServiceStats,
+    default_engines, AdmissionPolicy, BackendStats, JobHandle, JobSpec, RetryPolicy, Service,
+    ServiceBuilder, ServiceStats, TimeoutPolicy,
 };
 pub use sync::{OrderedCondvar, OrderedMutex, OrderedMutexGuard, LOCK_ORDER};
 

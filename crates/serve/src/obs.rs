@@ -40,6 +40,11 @@ pub(crate) struct Obs {
     pub(crate) refine_cancelled: Counter,
     pub(crate) refine_active: Gauge,
     pub(crate) refine_level_micros: Histogram,
+    pub(crate) retries: Counter,
+    pub(crate) failovers: Counter,
+    pub(crate) timeouts: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) degraded: Counter,
     window_first_submit: Gauge,
     window_last_resolve: Gauge,
     /// One handle pair per engine name, plus the synthetic `refine`
@@ -78,6 +83,11 @@ impl Obs {
             refine_cancelled: registry.counter("qns_serve_refine_cancelled_total"),
             refine_active: registry.gauge("qns_serve_refine_active"),
             refine_level_micros: registry.histogram("qns_serve_refine_level_micros"),
+            retries: registry.counter("qns_serve_retries_total"),
+            failovers: registry.counter("qns_serve_failovers_total"),
+            timeouts: registry.counter("qns_serve_timeouts_total"),
+            shed: registry.counter("qns_serve_shed_total"),
+            degraded: registry.counter("qns_serve_degraded_total"),
             window_first_submit: registry.gauge("qns_serve_window_first_submit_micros"),
             window_last_resolve: registry.gauge("qns_serve_window_last_resolve_micros"),
             backends,
@@ -106,6 +116,18 @@ impl Obs {
                 .counter("qns_serve_partial_cache_misses_total"),
             self.registry
                 .counter("qns_serve_partial_cache_evictions_total"),
+        )
+    }
+
+    /// Circuit-breaker metric handles for engine `name`, in
+    /// (state gauge, opens counter) order. Called once per engine at
+    /// service build, so the labeled children exist before any
+    /// export — and the breaker transition paths never allocate.
+    pub(crate) fn breaker_handles(&self, name: &'static str) -> (Gauge, Counter) {
+        (
+            self.registry.gauge_labeled("qns_serve_breaker_state", name),
+            self.registry
+                .counter_labeled("qns_serve_breaker_opens_total", name),
         )
     }
 

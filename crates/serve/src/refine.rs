@@ -320,13 +320,43 @@ impl RefineShared {
         self.advanced.notify_all();
     }
 
-    /// Marks the refinement finished and wakes every waiter.
-    pub(crate) fn finish(&self, error: Option<QnsError>, cancelled: bool) {
+    /// Marks the refinement finished and wakes every waiter. Returns
+    /// whether *this* call performed the transition.
+    ///
+    /// **First finish wins**: the watchdog and the executing worker
+    /// may both try to terminate the same refinement (deadline fires
+    /// while the worker is mid-level); whichever gets here first sets
+    /// the terminal state and later calls are no-ops, so a refinement
+    /// finishes exactly once and a timeout verdict is never
+    /// overwritten by the worker's eventual "stopped" bookkeeping. The
+    /// return value lets the winner alone record terminal counters and
+    /// journal events.
+    pub(crate) fn finish(&self, error: Option<QnsError>, cancelled: bool) -> bool {
+        self.finish_with(error, cancelled, || {})
+    }
+
+    /// [`RefineShared::finish`] that runs `bookkeeping` under the
+    /// progress lock, after winning but *before* waiters can observe
+    /// completion: anyone unblocked by this finish is guaranteed to
+    /// also see the winner's counters and journal events (the journal
+    /// lock is innermost, so recording here is legal). Losers never
+    /// run it.
+    pub(crate) fn finish_with(
+        &self,
+        error: Option<QnsError>,
+        cancelled: bool,
+        bookkeeping: impl FnOnce(),
+    ) -> bool {
         let mut progress = self.progress.lock_or_recover();
+        if progress.done {
+            return false;
+        }
+        bookkeeping();
         progress.done = true;
         progress.error = error;
         progress.cancelled = cancelled;
         self.advanced.notify_all();
+        true
     }
 }
 

@@ -56,6 +56,31 @@ pub fn route_job(
     job: &ExpectationJob<'_>,
     route: Route,
 ) -> Result<usize, QnsError> {
+    route_job_masked(engines, job, route, |_| true)
+}
+
+/// [`route_job`] with an availability mask: `Route::Auto` prefers
+/// engines for which `allowed(index)` holds (the fault-tolerance layer
+/// passes "breaker not open and not already failed for this job").
+///
+/// The mask is a *preference*, not a veto: if it disqualifies every
+/// feasible engine, Auto falls back to the unmasked cheapest feasible
+/// one — an open breaker or an exhausted failover list must degrade to
+/// "try the best engine anyway", never to an artificial
+/// [`QnsError::Unsupported`] for a job the fleet can run.
+/// `Route::Fixed` ignores the mask entirely: a pinned engine is pinned
+/// through its own breaker, and retries of a fixed route re-run the
+/// same engine by design.
+///
+/// # Errors
+///
+/// As for [`route_job`].
+pub fn route_job_masked(
+    engines: &[SharedBackend],
+    job: &ExpectationJob<'_>,
+    route: Route,
+    allowed: impl Fn(usize) -> bool,
+) -> Result<usize, QnsError> {
     match route {
         Route::Fixed(name) => {
             let idx = engines
@@ -68,20 +93,27 @@ pub fn route_job(
             engines[idx].supports(job)?;
             Ok(idx)
         }
-        Route::Auto => engines
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.supports(job).is_ok())
-            // Engines without a cost model are last-resort candidates.
-            .min_by_key(|(_, e)| e.cost_hint(job).unwrap_or(u128::MAX))
-            .map(|(i, _)| i)
-            .ok_or_else(|| QnsError::Unsupported {
-                backend: "serve-router",
-                reason: format!(
-                    "none of the {} registered engines supports this job",
-                    engines.len()
-                ),
-            }),
+        Route::Auto => {
+            let cheapest_feasible = |mask: &dyn Fn(usize) -> bool| {
+                engines
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, e)| mask(*i) && e.supports(job).is_ok())
+                    // Engines without a cost model are last-resort
+                    // candidates.
+                    .min_by_key(|(_, e)| e.cost_hint(job).unwrap_or(u128::MAX))
+                    .map(|(i, _)| i)
+            };
+            cheapest_feasible(&|i| allowed(i))
+                .or_else(|| cheapest_feasible(&|_| true))
+                .ok_or_else(|| QnsError::Unsupported {
+                    backend: "serve-router",
+                    reason: format!(
+                        "none of the {} registered engines supports this job",
+                        engines.len()
+                    ),
+                })
+        }
     }
 }
 
@@ -155,6 +187,27 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn mask_excludes_engines_but_never_strands_a_feasible_job() {
+        let noisy = NoisyCircuit::inject_random(ghz(6), &channels::depolarizing(1e-3), 8, 11);
+        let job = Simulation::new(&noisy).build().unwrap();
+        let engines = engines();
+        let cheapest = route_job(&engines, &job, Route::Auto).unwrap();
+
+        // Excluding the winner re-routes to the next-cheapest engine.
+        let second = route_job_masked(&engines, &job, Route::Auto, |i| i != cheapest).unwrap();
+        assert_ne!(second, cheapest);
+
+        // Excluding everything falls back to the unmasked winner
+        // instead of erroring — the mask is a preference, not a veto.
+        let fallback = route_job_masked(&engines, &job, Route::Auto, |_| false).unwrap();
+        assert_eq!(fallback, cheapest);
+
+        // Fixed ignores the mask: pinned is pinned.
+        let pinned = route_job_masked(&engines, &job, Route::Fixed("tnet"), |_| false).unwrap();
+        assert_eq!(engines[pinned].name(), "tnet");
     }
 
     #[test]

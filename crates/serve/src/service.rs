@@ -31,13 +31,15 @@
 //! from the `route/…` result-cache keys), never as a single
 //! [`Estimate`]. See [`crate::refine`] for the deadline/level model.
 
+use crate::breaker::{BreakerPolicy, CircuitBreaker};
 use crate::cache::LruCache;
+use crate::faults::{self, FaultAction};
 use crate::obs::Obs;
 use crate::refine::{
     deadline_level, LevelSum, PartialSumCache, RefineRequest, RefineShared, RefinementHandle,
     RefinementUpdate,
 };
-use crate::router::{route_job, Route, SharedBackend};
+use crate::router::{route_job_masked, Route, SharedBackend};
 use crate::sync::{OrderedCondvar, OrderedMutex, OrderedMutexGuard};
 use qns_api::{
     partial_sum_key, ApproxBackend, ApproxOptions, DensityBackend, Estimate, ExpectationJob,
@@ -47,10 +49,116 @@ use qns_api::{
 use qns_core::timing::time_it;
 use qns_noise::NoisyCircuit;
 use qns_obs::{DrainedEvents, EventKind, MetricsSnapshot, Registry};
+use rand::SplitMix64;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Retry/failover policy for expectation jobs (see
+/// [`ServiceBuilder::retry_policy`]). With no policy installed a job
+/// gets exactly one attempt — the pre-fault-tolerance behavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in microseconds; doubles per
+    /// further retry. `0` retries immediately (no backoff at all).
+    pub base_backoff_micros: u64,
+    /// Upper bound on the (pre-jitter) backoff.
+    pub max_backoff_micros: u64,
+    /// Seed for the deterministic backoff jitter: the slept backoff is
+    /// a pure function of `(seed, job id, attempt)`, so a chaos
+    /// schedule replays timing-for-timing.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 ms → 8 ms exponential backoff.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_micros: 1_000,
+            max_backoff_micros: 8_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before attempt `attempt + 1` of job `job_id`:
+    /// exponential in the attempt, capped, with deterministic seeded
+    /// jitter in the upper half of the cap (a full-jitter scheme would
+    /// allow zero sleeps, which defeats the point of backing off).
+    fn backoff_micros(&self, attempt: u32, job_id: u64) -> u64 {
+        if self.base_backoff_micros == 0 {
+            return 0;
+        }
+        let exp = self
+            .base_backoff_micros
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+        let capped = exp.min(self.max_backoff_micros.max(self.base_backoff_micros));
+        let mut mix = SplitMix64::new(
+            self.seed ^ job_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt),
+        );
+        capped / 2 + mix.next_u64() % (capped / 2 + 1)
+    }
+}
+
+/// Deadline policy for submitted work (see
+/// [`ServiceBuilder::timeout_policy`]). Deadlines scale with the job's
+/// routed cost estimate, so a big job is not condemned by a budget
+/// tuned for small ones; the watchdog resolves overdue handles with
+/// [`QnsError::Timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeoutPolicy {
+    /// Deadline floor in microseconds, measured from acceptance
+    /// (queue wait counts against the deadline).
+    pub base_micros: u64,
+    /// Extra deadline microseconds granted per 1000 cost-hint units of
+    /// the cheapest feasible engine (pattern units for refinements).
+    pub micros_per_kilocost: u64,
+    /// How often the watchdog re-scans when no deadline is imminent.
+    pub check_interval_micros: u64,
+}
+
+impl Default for TimeoutPolicy {
+    /// 100 ms floor + 1 µs per 1000 cost units, 5 ms scan interval.
+    fn default() -> TimeoutPolicy {
+        TimeoutPolicy {
+            base_micros: 100_000,
+            micros_per_kilocost: 1,
+            check_interval_micros: 5_000,
+        }
+    }
+}
+
+impl TimeoutPolicy {
+    /// The deadline budget for a job whose cost estimate is `cost`.
+    fn budget_micros(&self, cost: u128) -> u64 {
+        let scaled = cost.saturating_mul(u128::from(self.micros_per_kilocost)) / 1000;
+        self.base_micros
+            .saturating_add(u64::try_from(scaled).unwrap_or(u64::MAX))
+    }
+}
+
+/// Admission-control policy (see
+/// [`ServiceBuilder::admission_policy`]). Pressure is
+/// `(queue depth + 1) × estimated cost` — a deep queue of cheap jobs
+/// and a shallow queue of huge ones rate the same. Refinements degrade
+/// (shallower Theorem-1-bounded first level) in the band between the
+/// two thresholds and are shed above it; expectation jobs have no
+/// level lever, so they are only ever shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Pressure at which refinements start being admitted at a
+    /// shallower first level than their budget asked for.
+    pub degrade_pressure: u128,
+    /// Pressure at which submissions are rejected with
+    /// [`QnsError::Overloaded`].
+    pub shed_pressure: u128,
+}
 
 /// An owned, validated, fingerprinted expectation job — the queueable
 /// counterpart of the borrowing [`ExpectationJob`]. The circuit lives
@@ -138,11 +246,42 @@ impl Flight {
         })
     }
 
-    fn fill(&self, result: Result<Estimate, QnsError>) {
+    /// Publishes the result unless the flight is already resolved —
+    /// **first writer wins**. The executing worker and the deadline
+    /// watchdog may race to resolve the same flight (the deadline
+    /// fires while the backend is mid-execution); the loser's result
+    /// is dropped, so every handle observes exactly one result.
+    /// Returns whether this call was the resolving one.
+    fn try_fill(&self, result: Result<Estimate, QnsError>) -> bool {
+        self.try_fill_with(result, || {})
+    }
+
+    /// [`Flight::try_fill`] that runs `bookkeeping` under the slot
+    /// lock, after winning but *before* the result becomes observable:
+    /// a waiter that sees the resolution is guaranteed to also see the
+    /// winner's counters and journal events (the journal lock is
+    /// innermost, so recording here is legal). Losers never run it.
+    fn try_fill_with(
+        &self,
+        result: Result<Estimate, QnsError>,
+        bookkeeping: impl FnOnce(),
+    ) -> bool {
         let mut slot = self.slot.lock_or_recover();
-        debug_assert!(slot.is_none(), "a flight resolves exactly once");
+        if slot.is_some() {
+            return false;
+        }
+        bookkeeping();
         *slot = Some(result);
         self.done.notify_all();
+        true
+    }
+
+    /// [`Flight::try_fill`] for paths with a single possible writer
+    /// (submission-side rejections), where losing the race would be a
+    /// protocol bug.
+    fn fill(&self, result: Result<Estimate, QnsError>) {
+        let filled = self.try_fill(result);
+        debug_assert!(filled, "a flight resolves exactly once");
     }
 
     fn wait(&self) -> Result<Estimate, QnsError> {
@@ -243,6 +382,29 @@ pub struct ServiceStats {
     /// Partial-sum cache counters: a hit is a refinement that resumed
     /// at least one cached level.
     pub partial_cache: crate::cache::CacheCounters,
+    /// Execution attempts beyond the first (retry-policy
+    /// re-submissions).
+    pub retries: u64,
+    /// Retries that re-routed to a different engine than the failed
+    /// attempt.
+    pub failovers: u64,
+    /// Jobs resolved with [`QnsError::Timeout`] by the deadline
+    /// watchdog.
+    pub timeouts: u64,
+    /// Submissions rejected with [`QnsError::Overloaded`] by admission
+    /// control.
+    pub shed: u64,
+    /// Refinements admitted at a shallower first level under overload.
+    pub degraded: u64,
+    /// Total circuit-breaker open transitions across all engines.
+    pub breaker_opens: u64,
+    /// Keys currently in the single-flight table (queued or executing
+    /// unique expectation jobs).
+    pub inflight: usize,
+    /// The deadline-conversion EWMA of observed refinement throughput
+    /// in patterns/second (`0.0` until the first clean fresh level;
+    /// levels that failed or carried injected faults never feed it).
+    pub refine_rate_pps: f64,
 }
 
 impl ServiceStats {
@@ -282,6 +444,11 @@ struct Task {
     route: Route,
     spec: JobSpec,
     flight: Arc<Flight>,
+    /// Set by the deadline watchdog when it resolves the flight with
+    /// [`QnsError::Timeout`]: workers skip execution of a job that
+    /// timed out while queued and stop retrying one that timed out
+    /// mid-backoff.
+    timed_out: Arc<AtomicBool>,
     /// Per-submission id tying the job's journal events together.
     job_id: u64,
     /// Service-clock timestamp of acceptance; queue wait and
@@ -340,6 +507,37 @@ impl State {
     }
 }
 
+/// What the deadline watchdog resolves when an entry expires.
+enum WatchdogTarget {
+    /// One expectation flight: resolve with [`QnsError::Timeout`]
+    /// (first writer wins against the executing worker) and retire the
+    /// single-flight entry so later submissions re-execute.
+    Expect {
+        key: u128,
+        flight: Arc<Flight>,
+        timed_out: Arc<AtomicBool>,
+    },
+    /// One refinement: request cooperative cancellation at the next
+    /// level boundary and finish the progress stream with
+    /// [`QnsError::Timeout`] — already-published levels stay readable
+    /// (anytime semantics: a timed-out refinement still answers at the
+    /// deepest level it reached, bound attached).
+    Refine {
+        shared: Arc<RefineShared>,
+        cancel: Arc<AtomicBool>,
+    },
+}
+
+/// One armed deadline.
+struct WatchdogEntry {
+    /// Service-clock expiry.
+    deadline_micros: u64,
+    /// The budget the job was given (for the error/journal).
+    budget_micros: u64,
+    job_id: u64,
+    target: WatchdogTarget,
+}
+
 struct Shared {
     state: OrderedMutex<State>,
     /// Workers wait here for queued tasks.
@@ -348,6 +546,23 @@ struct Shared {
     space: OrderedCondvar,
     queue_capacity: usize,
     engines: Vec<SharedBackend>,
+    /// One circuit breaker per engine (same indexing as `engines`),
+    /// consulted by Auto routing and fed by execution outcomes.
+    breakers: Vec<CircuitBreaker>,
+    retry: Option<RetryPolicy>,
+    timeout: Option<TimeoutPolicy>,
+    admission: Option<AdmissionPolicy>,
+    /// Armed deadlines, scanned by the watchdog thread. Outermost lock
+    /// in the declared order (`"serve.watchdog"`): registration sites
+    /// hold nothing else, and the watchdog releases it before firing.
+    watchdog: OrderedMutex<Vec<WatchdogEntry>>,
+    /// Wakes the watchdog early (a new, possibly-nearer deadline was
+    /// registered, or shutdown).
+    watchdog_wake: OrderedCondvar,
+    /// Lock-free shutdown mirror of `State::shutdown` for paths that
+    /// must not take the state lock (retry backoff, the watchdog scan
+    /// loop).
+    stopping: AtomicBool,
     /// Options every refinement runs under (strategy/threads are part
     /// of the partial-sum cache key; see [`partial_sum_key`]).
     refine_opts: ApproxOptions,
@@ -359,6 +574,35 @@ struct Shared {
 impl Shared {
     fn lock(&self) -> OrderedMutexGuard<'_, State> {
         self.state.lock_or_recover()
+    }
+
+    /// Arms a deadline. Called with **no** other lock held (the
+    /// watchdog lock is outermost in the declared order).
+    fn arm_deadline(&self, entry: WatchdogEntry) {
+        self.watchdog.lock_or_recover().push(entry);
+        self.watchdog_wake.notify_all();
+    }
+
+    /// The routed cost estimate deadlines and admission pressure scale
+    /// with: the pinned engine's cost hint for fixed routes, the
+    /// cheapest feasible hint for Auto. `0` when no engine offers a
+    /// model — the policy then degrades to its flat base behavior.
+    fn cost_estimate(&self, job: &ExpectationJob<'_>, route: Route) -> u128 {
+        match route {
+            Route::Fixed(name) => self
+                .engines
+                .iter()
+                .find(|e| e.name() == name)
+                .and_then(|e| e.cost_hint(job))
+                .unwrap_or(0),
+            Route::Auto => self
+                .engines
+                .iter()
+                .filter(|e| e.supports(job).is_ok())
+                .filter_map(|e| e.cost_hint(job))
+                .min()
+                .unwrap_or(0),
+        }
     }
 }
 
@@ -379,6 +623,10 @@ pub struct ServiceBuilder {
     route: Route,
     engines: Vec<SharedBackend>,
     refine_opts: ApproxOptions,
+    retry: Option<RetryPolicy>,
+    timeout: Option<TimeoutPolicy>,
+    admission: Option<AdmissionPolicy>,
+    breaker: BreakerPolicy,
 }
 
 /// One default-configured instance of every engine in the workspace —
@@ -405,6 +653,10 @@ impl Default for ServiceBuilder {
             route: Route::Auto,
             engines: default_engines(),
             refine_opts: ApproxOptions::default(),
+            retry: None,
+            timeout: None,
+            admission: None,
+            breaker: BreakerPolicy::default(),
         }
     }
 }
@@ -481,12 +733,60 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enables retry/failover: failed attempts whose error is
+    /// retryable ([`QnsError::is_retryable`]) re-route — excluding
+    /// already-failed engines under [`Route::Auto`] — after a bounded,
+    /// deterministically-jittered exponential backoff. Without a
+    /// policy every job gets exactly one attempt.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Enables per-job deadlines: a watchdog thread resolves handles
+    /// whose cost-scaled budget elapses with [`QnsError::Timeout`]
+    /// (refinements are cancelled cooperatively at the next level
+    /// boundary and keep their published levels). Without a policy no
+    /// watchdog thread is even spawned.
+    pub fn timeout_policy(mut self, policy: TimeoutPolicy) -> Self {
+        self.timeout = Some(policy);
+        self
+    }
+
+    /// Enables admission control: overload degrades refinements to
+    /// shallower (still Theorem-1-bounded) first levels, and extreme
+    /// overload sheds submissions with [`QnsError::Overloaded`] before
+    /// they consume queue space. Without a policy the only submission
+    /// pushback is the bounded queue's backpressure.
+    pub fn admission_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
+    /// Tunes the per-engine circuit breakers (always present; the
+    /// default [`BreakerPolicy`] only changes routing after an engine
+    /// exhibits repeated failures).
+    pub fn breaker_policy(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker = policy;
+        self
+    }
+
     /// Spawns the worker pool and returns the running service.
     pub fn build(self) -> Service {
         let engine_names: Vec<&'static str> = self.engines.iter().map(|e| e.name()).collect();
         let obs = Obs::new(&engine_names, self.journal_capacity);
         let (cache_hits, cache_misses, cache_evictions) = obs.cache_counters();
         let (partial_hits, partial_misses, partial_evictions) = obs.partial_cache_counters();
+        // Breaker metric children are registered eagerly here, one per
+        // engine, so breaker transitions on the execution path never
+        // allocate and every labeled series exists before first export.
+        let breakers = engine_names
+            .iter()
+            .map(|&name| {
+                let (state_gauge, opens) = obs.breaker_handles(name);
+                CircuitBreaker::new(self.breaker).with_metrics(state_gauge, opens)
+            })
+            .collect();
         let shared = Arc::new(Shared {
             state: OrderedMutex::new(
                 "serve.state",
@@ -513,6 +813,13 @@ impl ServiceBuilder {
             space: OrderedCondvar::new(),
             queue_capacity: self.queue_capacity,
             engines: self.engines,
+            breakers,
+            retry: self.retry,
+            timeout: self.timeout,
+            admission: self.admission,
+            watchdog: OrderedMutex::new("serve.watchdog", Vec::new()),
+            watchdog_wake: OrderedCondvar::new(),
+            stopping: AtomicBool::new(false),
             refine_opts: self.refine_opts,
             obs,
         });
@@ -525,9 +832,18 @@ impl ServiceBuilder {
                     .expect("spawn service worker")
             })
             .collect();
+        // The watchdog thread only exists when deadlines do.
+        let watchdog = self.timeout.map(|policy| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("qns-serve-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, policy))
+                .expect("spawn service watchdog") // qns-lint: allow(panic)
+        });
         Service {
             shared,
             workers,
+            watchdog,
             default_route: self.route,
         }
     }
@@ -540,6 +856,7 @@ impl ServiceBuilder {
 pub struct Service {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     default_route: Route,
 }
 
@@ -587,7 +904,12 @@ impl Service {
             obs.record(job_id, EventKind::DedupJoined);
             return Ok(JobHandle { flight });
         }
-        // 2. Completed before: answer from the cache.
+        // 2. Completed before: answer from the cache. The chaos hook
+        //    models a slow cache path (a `cache.probe` Sleep rule
+        //    stalls the submitter under the state lock — deliberately,
+        //    that is what a slow cache does); Trip is meaningless for a
+        //    probe and ignored. No plan installed ⇒ one relaxed load.
+        faults::apply_delay(faults::failpoint("cache.probe"));
         if let Some(est) = state.cache.get(key) {
             let job_id = obs.job_id();
             obs.submitted.inc();
@@ -601,7 +923,30 @@ impl Service {
                 flight: Flight::resolved(Ok(est)),
             });
         }
-        // 3. First submission: own the flight, enter the bounded queue.
+        // 3. Admission control (only for work that would actually
+        //    consume a worker: joins and cache hits above are free and
+        //    must never shed). Expectation jobs have no level lever,
+        //    so the only admission verdict here is shed-or-accept.
+        let cost = self.shared.admission.map(|adm| {
+            let c = self.shared.cost_estimate(&spec.job(), route);
+            (adm, c)
+        });
+        if let Some((adm, cost)) = cost {
+            let pressure = (state.queue.len() as u128 + 1).saturating_mul(cost.max(1));
+            if pressure >= adm.shed_pressure {
+                let queue_depth = state.queue.len();
+                let job_id = obs.job_id();
+                obs.shed.inc();
+                obs.record(
+                    job_id,
+                    EventKind::Shed {
+                        queue_depth: u32::try_from(queue_depth).unwrap_or(u32::MAX),
+                    },
+                );
+                return Err(QnsError::Overloaded { queue_depth });
+            }
+        }
+        // 4. First submission: own the flight, enter the bounded queue.
         let flight = Flight::pending();
         state.inflight.insert(key, Arc::clone(&flight));
         while state.queue.len() >= self.shared.queue_capacity && !state.shutdown {
@@ -627,11 +972,13 @@ impl Service {
         obs.submitted.inc();
         let now = obs.now_micros();
         obs.mark_submit(now);
+        let timed_out = Arc::new(AtomicBool::new(false));
         state.queue.push_back(Work::Expect(Task {
             key,
             route,
             spec: spec.clone(),
             flight: Arc::clone(&flight),
+            timed_out: Arc::clone(&timed_out),
             job_id,
             submitted_micros: now,
         }));
@@ -646,6 +993,22 @@ impl Service {
         );
         drop(state);
         self.shared.work.notify_one();
+        // Deadline armed AFTER the state lock is released: the
+        // watchdog table is outermost in the lock order, so it is
+        // never acquired while `serve.state` is held.
+        if let Some(tp) = &self.shared.timeout {
+            let budget = tp.budget_micros(self.shared.cost_estimate(&spec.job(), route));
+            self.shared.arm_deadline(WatchdogEntry {
+                deadline_micros: now.saturating_add(budget),
+                budget_micros: budget,
+                job_id,
+                target: WatchdogTarget::Expect {
+                    key,
+                    flight: Arc::clone(&flight),
+                    timed_out,
+                },
+            });
+        }
         Ok(JobHandle { flight })
     }
 
@@ -703,7 +1066,40 @@ impl Service {
         // against the cache as it stands at submission time.
         let cached_levels = state.partial.peek_len(key);
         let budget = req.resolved_budget(state.refine_rate_pps);
-        let first_level = deadline_level(n, final_level, cached_levels, budget);
+        let requested_level = deadline_level(n, final_level, cached_levels, budget);
+        let mut first_level = requested_level;
+        // Admission control: between the two pressure thresholds the
+        // refinement is admitted at a shallower first level — the
+        // Theorem-1 bound still holds at the served level, so the
+        // degraded answer is worse only in tightness, never in
+        // validity. Above the shed threshold it is rejected outright.
+        if let Some(adm) = &self.shared.admission {
+            let cost = qns_core::bounds::planned_patterns(n, final_level);
+            let pressure = (state.queue.len() as u128 + 1).saturating_mul(cost.max(1));
+            if pressure >= adm.shed_pressure {
+                let queue_depth = state.queue.len();
+                let obs = &self.shared.obs;
+                let job_id = obs.job_id();
+                obs.shed.inc();
+                obs.record(
+                    job_id,
+                    EventKind::Shed {
+                        queue_depth: u32::try_from(queue_depth).unwrap_or(u32::MAX),
+                    },
+                );
+                return Err(QnsError::Overloaded { queue_depth });
+            }
+            if pressure >= adm.degrade_pressure {
+                // Overload factor ≥ 2: the budget shrinks in
+                // proportion to how far past the threshold we are.
+                // Unlimited budgets clamp to the full plan cost first —
+                // any budget beyond it buys the same levels, and an
+                // unbounded request must still degrade under pressure.
+                let factor = (pressure / adm.degrade_pressure.max(1)).saturating_add(1);
+                let scaled = budget.min(cost) / factor;
+                first_level = deadline_level(n, final_level, cached_levels, scaled);
+            }
+        }
         while state.queue.len() >= self.shared.queue_capacity && !state.shutdown {
             state = self.shared.space.wait(state);
         }
@@ -721,6 +1117,16 @@ impl Service {
         obs.submitted.inc();
         obs.refinements.inc();
         obs.refine_active.inc();
+        if first_level < requested_level {
+            obs.degraded.inc();
+            obs.record(
+                job_id,
+                EventKind::Degraded {
+                    requested_level: u32::try_from(requested_level).unwrap_or(u32::MAX),
+                    served_level: u32::try_from(first_level).unwrap_or(u32::MAX),
+                },
+            );
+        }
         let now = obs.now_micros();
         obs.mark_submit(now);
         state.queue.push_back(Work::Refine(RefineTask {
@@ -751,6 +1157,21 @@ impl Service {
         );
         drop(state);
         self.shared.work.notify_one();
+        // Same post-release deadline arming as `submit_routed`; the
+        // cost estimate is the refinement's full Theorem-1 pattern
+        // plan, so deeper refinements earn proportionally more time.
+        if let Some(tp) = &self.shared.timeout {
+            let budget = tp.budget_micros(qns_core::bounds::planned_patterns(n, final_level));
+            self.shared.arm_deadline(WatchdogEntry {
+                deadline_micros: now.saturating_add(budget),
+                budget_micros: budget,
+                job_id,
+                target: WatchdogTarget::Refine {
+                    shared: Arc::clone(&progress),
+                    cancel: Arc::clone(&cancel),
+                },
+            });
+        }
         Ok(RefinementHandle::new(
             progress,
             cancel,
@@ -770,9 +1191,14 @@ impl Service {
     /// [`Service::metrics_snapshot`] for the full export).
     pub fn stats(&self) -> ServiceStats {
         let obs = &self.shared.obs;
-        let (cache, partial_cache) = {
+        let (cache, partial_cache, inflight, refine_rate_pps) = {
             let state = self.shared.lock();
-            (state.cache.counters(), state.partial.counters())
+            (
+                state.cache.counters(),
+                state.partial.counters(),
+                state.inflight.len(),
+                state.refine_rate_pps,
+            )
         };
         let mut per_backend = BTreeMap::new();
         for (name, handles) in &obs.backends {
@@ -809,7 +1235,26 @@ impl Service {
             refine_high_water: usize::try_from(obs.refine_active.high_water()).unwrap_or(0),
             refine_cancelled: obs.refine_cancelled.get(),
             partial_cache,
+            retries: obs.retries.get(),
+            failovers: obs.failovers.get(),
+            timeouts: obs.timeouts.get(),
+            shed: obs.shed.get(),
+            degraded: obs.degraded.get(),
+            breaker_opens: self.shared.breakers.iter().map(CircuitBreaker::opens).sum(),
+            inflight,
+            refine_rate_pps,
         }
+    }
+
+    /// The current per-engine circuit-breaker states, in registration
+    /// order (paired with [`Service::engine_names`]).
+    pub fn breaker_states(&self) -> Vec<(&'static str, crate::breaker::BreakerState)> {
+        self.shared
+            .engines
+            .iter()
+            .zip(&self.shared.breakers)
+            .map(|(e, b)| (e.name(), b.state()))
+            .collect()
     }
 
     /// A point-in-time copy of every metric series the service (and
@@ -853,8 +1298,12 @@ impl Service {
             let mut state = self.shared.lock();
             state.shutdown = true;
         }
+        // The lock-free mirror interrupts retry backoffs and stops the
+        // watchdog scan loop.
+        self.shared.stopping.store(true, Ordering::Release);
         self.shared.work.notify_all();
         self.shared.space.notify_all();
+        self.shared.watchdog_wake.notify_all();
     }
 
     /// Stops accepting submissions, drains the queue, and joins the
@@ -867,6 +1316,9 @@ impl Service {
     fn shutdown_impl(&mut self) {
         self.begin_shutdown();
         for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.watchdog.take() {
             let _ = handle.join();
         }
     }
@@ -905,8 +1357,41 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Executes one expectation task: route, execute (lock released),
-/// record, resolve.
+/// Removes `task`'s single-flight entry iff it still owns it. The
+/// watchdog retires entries for timed-out jobs (so later submissions
+/// re-execute), after which the same key may belong to a *newer*
+/// flight — which must not be clobbered by this worker's cleanup.
+fn retire_flight(state: &mut State, key: u128, flight: &Arc<Flight>) {
+    if state
+        .inflight
+        .get(&key)
+        .is_some_and(|f| Arc::ptr_eq(f, flight))
+    {
+        state.inflight.remove(&key);
+    }
+}
+
+/// Sleeps out a retry backoff in small slices, aborting early on
+/// shutdown or when the job's deadline fired. Returns whether the full
+/// backoff elapsed (i.e. the retry should proceed).
+fn backoff_sleep(shared: &Shared, task: &Task, micros: u64) -> bool {
+    let mut remaining = micros;
+    loop {
+        if shared.stopping.load(Ordering::Acquire) || task.timed_out.load(Ordering::Acquire) {
+            return false;
+        }
+        if remaining == 0 {
+            return true;
+        }
+        let chunk = remaining.min(1_000);
+        std::thread::sleep(Duration::from_micros(chunk));
+        remaining -= chunk;
+    }
+}
+
+/// Executes one expectation task: route (around open breakers and
+/// already-failed engines), execute (lock released), retry retryable
+/// failures under the retry policy, record, resolve.
 fn run_expectation(shared: &Shared, task: Task) {
     let obs = &shared.obs;
     let wait_micros = obs.now_micros().saturating_sub(task.submitted_micros);
@@ -917,68 +1402,251 @@ fn run_expectation(shared: &Shared, task: Task) {
             queue_wait_micros: wait_micros,
         },
     );
-    // A panicking backend (custom engines arrive through
-    // `ServiceBuilder::with_engine`) must not kill the worker:
-    // that would strand the flight — every joined handle would
-    // hang in `wait()` forever — and silently shrink the pool.
-    // Contain it and resolve the flight with an error instead.
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let job = task.spec.job();
-        match route_job(&shared.engines, &job, task.route) {
-            Ok(idx) => {
-                let engine = &shared.engines[idx];
+    if task.timed_out.load(Ordering::Acquire) {
+        // The deadline fired while the job was still queued: the
+        // watchdog already resolved the flight, so there is nothing
+        // left to execute — just drop our (already-retired) ownership.
+        let mut state = shared.lock();
+        retire_flight(&mut state, task.key, &task.flight);
+        return;
+    }
+    let max_attempts = shared.retry.map_or(1, |r| r.max_attempts.max(1));
+    // Engines that failed this job (Auto failover skips them on the
+    // next attempt; the router falls back if they were the only
+    // option).
+    let mut failed: Vec<usize> = Vec::new();
+    let mut prev_engine: Option<&'static str> = None;
+    let mut attempt = 0u32;
+    let result = loop {
+        attempt += 1;
+        let mut routed_idx: Option<usize> = None;
+        let mut routed_name: Option<&'static str> = None;
+        // A panicking backend (custom engines arrive through
+        // `ServiceBuilder::with_engine`) must not kill the worker:
+        // that would strand the flight — every joined handle would
+        // hang in `wait()` forever — and silently shrink the pool.
+        // Contain it and treat it as a (retryable) failed attempt.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let job = task.spec.job();
+            let now = obs.now_micros();
+            let pick = route_job_masked(&shared.engines, &job, task.route, |i| {
+                !failed.contains(&i) && shared.breakers[i].candidate(now)
+            });
+            match pick {
+                Ok(idx) => {
+                    routed_idx = Some(idx);
+                    let engine = &shared.engines[idx];
+                    routed_name = Some(engine.name());
+                    // An open-but-cooled breaker spends its half-open
+                    // trial on this attempt.
+                    shared.breakers[idx].begin_attempt(now);
+                    obs.record(
+                        task.job_id,
+                        EventKind::Routed {
+                            engine: engine.name(),
+                            cost: engine
+                                .cost_hint(&job)
+                                .map_or(u64::MAX, |c| u64::try_from(c).unwrap_or(u64::MAX)),
+                        },
+                    );
+                    if let Some(prev) = prev_engine {
+                        if prev != engine.name() {
+                            obs.failovers.inc();
+                            obs.record(
+                                task.job_id,
+                                EventKind::FailedOver {
+                                    from: prev,
+                                    to: engine.name(),
+                                },
+                            );
+                        }
+                    }
+                    let (result, seconds) = time_it(|| engine.expectation(&job));
+                    (result, Some((engine.name(), seconds)))
+                }
+                Err(e) => (Err(e), None),
+            }
+        }));
+        let (attempt_result, executed_on) = outcome.unwrap_or_else(|payload| {
+            (
+                Err(QnsError::ExecutionPanicked {
+                    reason: format!("backend panicked: {}", panic_reason(payload.as_ref())),
+                }),
+                None,
+            )
+        });
+        if let Some((name, seconds)) = executed_on {
+            let micros = (seconds * 1e6) as u64;
+            obs.executed.inc();
+            if let Some(handles) = obs.backends.get(name) {
+                handles.jobs.inc();
+                handles.micros.add(micros);
+            }
+            obs.record(
+                task.job_id,
+                EventKind::Executed {
+                    engine: name,
+                    micros,
+                    ok: attempt_result.is_ok(),
+                },
+            );
+        }
+        // Breaker feedback covers panics too: `routed_idx` was latched
+        // before the engine ran.
+        if let Some(idx) = routed_idx {
+            match &attempt_result {
+                Ok(_) => shared.breakers[idx].on_success(),
+                Err(_) => shared.breakers[idx].on_failure(obs.now_micros()),
+            }
+        }
+        match attempt_result {
+            Ok(est) => break Ok(est),
+            Err(err) => {
+                if attempt >= max_attempts
+                    || !err.is_retryable()
+                    || task.timed_out.load(Ordering::Acquire)
+                    || shared.stopping.load(Ordering::Acquire)
+                {
+                    break Err(err);
+                }
+                if let Some(idx) = routed_idx {
+                    if !failed.contains(&idx) {
+                        failed.push(idx);
+                    }
+                }
+                prev_engine = routed_name.or(prev_engine);
+                let backoff = shared
+                    .retry
+                    .map_or(0, |r| r.backoff_micros(attempt, task.job_id));
+                obs.retries.inc();
                 obs.record(
                     task.job_id,
-                    EventKind::Routed {
-                        engine: engine.name(),
-                        cost: engine
-                            .cost_hint(&job)
-                            .map_or(u64::MAX, |c| u64::try_from(c).unwrap_or(u64::MAX)),
+                    EventKind::Retried {
+                        attempt: attempt + 1,
+                        backoff_micros: backoff,
                     },
                 );
-                let (result, seconds) = time_it(|| engine.expectation(&job));
-                (result, Some((engine.name(), seconds)))
+                if !backoff_sleep(shared, &task, backoff) {
+                    // Shutdown or deadline interrupted the backoff:
+                    // resolve with the last error instead of retrying.
+                    break Err(err);
+                }
             }
-            Err(e) => (Err(e), None),
         }
-    }));
-    let (result, executed_on) = outcome.unwrap_or_else(|payload| {
-        (
-            Err(QnsError::ExecutionPanicked {
-                reason: format!("backend panicked: {}", panic_reason(payload.as_ref())),
-            }),
-            None,
-        )
-    });
+    };
 
     {
         let mut state = shared.lock();
         if let Ok(est) = &result {
             state.cache.insert(task.key, est.clone());
         }
-        state.inflight.remove(&task.key);
+        retire_flight(&mut state, task.key, &task.flight);
     }
-    if let Some((name, seconds)) = executed_on {
-        let micros = (seconds * 1e6) as u64;
-        obs.executed.inc();
-        if let Some(handles) = obs.backends.get(name) {
-            handles.jobs.inc();
-            handles.micros.add(micros);
+    let ok = result.is_ok();
+    task.flight.try_fill_with(result, || {
+        let now = obs.now_micros();
+        obs.e2e.record(now.saturating_sub(task.submitted_micros));
+        obs.mark_resolve(now);
+        obs.record(task.job_id, EventKind::Resolved { ok });
+    });
+    // On a lost race the watchdog already resolved (and journaled) the
+    // flight as timed out mid-execution; the late result was still
+    // cached above.
+}
+
+/// The deadline watchdog: scans the armed-deadline table, fires every
+/// expired entry (resolving its flight or refinement stream with
+/// [`QnsError::Timeout`] — first writer wins against the executing
+/// worker), and sleeps until the nearest remaining deadline, capped at
+/// the policy's scan interval. New registrations and shutdown wake it
+/// early.
+fn watchdog_loop(shared: &Shared, policy: TimeoutPolicy) {
+    loop {
+        // Collect expired entries under the watchdog lock, then fire
+        // them after releasing it: firing acquires `serve.state`
+        // (legal — the watchdog table is outermost in the lock order)
+        // and holding the table across those acquisitions would stall
+        // every submission's deadline registration.
+        let now = shared.obs.now_micros();
+        let (expired, next_deadline) = {
+            let mut entries = shared.watchdog.lock_or_recover();
+            let mut expired = Vec::new();
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].deadline_micros <= now {
+                    expired.push(entries.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            (expired, entries.iter().map(|e| e.deadline_micros).min())
+        };
+        for entry in expired {
+            fire_deadline(shared, entry);
         }
+        if shared.stopping.load(Ordering::Acquire) {
+            // Shutdown: the draining workers resolve everything still
+            // armed; racing them with timeout verdicts mid-drain would
+            // turn legitimate results into spurious timeouts.
+            return;
+        }
+        let wait = next_deadline
+            .map(|d| d.saturating_sub(shared.obs.now_micros()))
+            .unwrap_or(policy.check_interval_micros)
+            .clamp(1, policy.check_interval_micros.max(1));
+        let entries = shared.watchdog.lock_or_recover();
+        let _ = shared
+            .watchdog_wake
+            .wait_timeout(entries, Duration::from_micros(wait));
+    }
+}
+
+/// Fires one expired deadline. Resolution is first-writer-wins: when
+/// the executing worker already resolved (or resolves concurrently),
+/// firing is a no-op and records nothing.
+fn fire_deadline(shared: &Shared, entry: WatchdogEntry) {
+    let obs = &shared.obs;
+    let timeout = QnsError::Timeout {
+        after_micros: entry.budget_micros,
+    };
+    let bookkeeping = || {
+        obs.timeouts.inc();
         obs.record(
-            task.job_id,
-            EventKind::Executed {
-                engine: name,
-                micros,
-                ok: result.is_ok(),
+            entry.job_id,
+            EventKind::TimedOut {
+                after_micros: entry.budget_micros,
             },
         );
+        obs.mark_resolve(obs.now_micros());
+        obs.record(entry.job_id, EventKind::Resolved { ok: false });
+    };
+    match entry.target {
+        WatchdogTarget::Expect {
+            key,
+            flight,
+            timed_out,
+        } => {
+            // Flag first: workers skip executing a job that timed out
+            // while queued and abandon retry backoffs in progress.
+            timed_out.store(true, Ordering::Release);
+            // Retire the single-flight entry (if this flight still
+            // owns it) so later identical submissions re-execute
+            // instead of joining a timed-out verdict.
+            {
+                let mut state = shared.lock();
+                retire_flight(&mut state, key, &flight);
+            }
+            flight.try_fill_with(Err(timeout), bookkeeping);
+        }
+        WatchdogTarget::Refine { shared, cancel } => {
+            // Cooperative: the worker stops at the next level
+            // boundary; levels already published stay readable
+            // (anytime semantics — the caller still gets the deepest
+            // Theorem-1-bounded answer the budget paid for).
+            cancel.store(true, Ordering::Relaxed);
+            shared.finish_with(Some(timeout), false, bookkeeping);
+        }
     }
-    let now = obs.now_micros();
-    obs.e2e.record(now.saturating_sub(task.submitted_micros));
-    obs.mark_resolve(now);
-    obs.record(task.job_id, EventKind::Resolved { ok: result.is_ok() });
-    task.flight.fill(result);
 }
 
 fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1023,19 +1691,20 @@ fn run_refinement(shared: &Shared, task: RefineTask) {
     // observes the refinement as done (via a handle wait) must also
     // observe `refine_active` already decremented.
     obs.refine_active.dec();
-    if cancelled {
-        obs.refine_cancelled.inc();
-    }
-    let now = obs.now_micros();
-    obs.e2e.record(now.saturating_sub(task.submitted_micros));
-    obs.mark_resolve(now);
-    obs.record(
-        task.job_id,
-        EventKind::Resolved {
-            ok: error.is_none(),
-        },
-    );
-    task.shared.finish(error, cancelled);
+    let ok = error.is_none();
+    // Only a winning finish records the terminal bookkeeping: when the
+    // deadline watchdog finished the stream first, it already journaled
+    // `TimedOut` + `Resolved`, and a cooperative cancel-on-timeout must
+    // not also count as a user cancellation.
+    task.shared.finish_with(error, cancelled, || {
+        if cancelled {
+            obs.refine_cancelled.inc();
+        }
+        let now = obs.now_micros();
+        obs.e2e.record(now.saturating_sub(task.submitted_micros));
+        obs.mark_resolve(now);
+        obs.record(task.job_id, EventKind::Resolved { ok });
+    });
 }
 
 /// The refinement loop proper; returns whether it stopped on a cancel.
@@ -1077,11 +1746,31 @@ fn run_refinement_inner(shared: &Shared, task: &RefineTask) -> Result<bool, QnsE
                 from_cache: true,
             });
         } else {
-            let (result, seconds) = time_it(|| refinement.advance());
+            // Chaos hook: an injected `refine.advance` fault fails the
+            // level outright (Trip) or stalls it (Sleep). No plan
+            // installed ⇒ one relaxed atomic load.
+            let fault = faults::failpoint("refine.advance");
+            if matches!(fault, FaultAction::Trip) {
+                return Err(QnsError::ExecutionPanicked {
+                    reason: format!("injected fault: refine.advance at level {level}"),
+                });
+            }
+            let (result, seconds) = time_it(|| {
+                faults::apply_delay(fault);
+                refinement.advance()
+            });
             let partial = result?;
             total_seconds += seconds;
             let micros = (seconds * 1e6) as u64;
             let estimate = refinement.estimate_for(&partial);
+            // A level whose wall time was stalled by an injected fault
+            // — or that a timeout/cancel interrupted mid-flight — is
+            // not a throughput signal: feeding it into the
+            // deadline-conversion EWMA would poison every later
+            // deadline → level conversion toward absurdly shallow
+            // answers. (Failed levels never get here: `?` above.)
+            let poisoned =
+                !matches!(fault, FaultAction::None) || task.cancel.load(Ordering::Relaxed);
             {
                 let mut state = shared.lock();
                 state.partial.record(
@@ -1092,7 +1781,9 @@ fn run_refinement_inner(shared: &Shared, task: &RefineTask) -> Result<bool, QnsE
                         patterns: partial.level_patterns,
                     },
                 );
-                state.observe_refine_rate(partial.level_patterns, seconds);
+                if !poisoned {
+                    state.observe_refine_rate(partial.level_patterns, seconds);
+                }
             }
             shared.obs.refine_level_micros.record(micros);
             shared.obs.refine_level_counter(level).inc();
@@ -1122,6 +1813,7 @@ fn run_refinement_inner(shared: &Shared, task: &RefineTask) -> Result<bool, QnsE
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::route_job;
     use qns_circuit::generators::ghz;
     use qns_noise::channels;
 

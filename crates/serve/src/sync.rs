@@ -44,18 +44,25 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 /// exercised and panics on any cycle, while this list documents (and
 /// names) the intended one:
 ///
-/// 1. `serve.state` — the service's single state lock (queue, caches,
-///    single-flight table, counters). Outermost: held while resolving
+/// 1. `serve.watchdog` — the deadline watchdog's timer table.
+///    Outermost: the watchdog thread collects expired entries under it
+///    and *releases it* before touching any other lock, and
+///    register/deregister sites hold nothing else — but should an
+///    expiry path ever need `serve.state`, the declared order already
+///    permits it.
+/// 2. `serve.state` — the service's single state lock (queue, caches,
+///    single-flight table, counters). Held while resolving
 ///    flights and publishing refine progress on the shutdown paths.
-/// 2. `flight.slot` — one per [`crate::JobHandle`] flight; a leaf
+/// 3. `flight.slot` — one per [`crate::JobHandle`] flight; a leaf
 ///    lock for result publication/wait.
-/// 3. `refine.progress` — one per refinement; a leaf lock for the
+/// 4. `refine.progress` — one per refinement; a leaf lock for the
 ///    level-update stream.
-/// 4. `serve.journal` — the observability event ring. Innermost:
+/// 5. `serve.journal` — the observability event ring. Innermost:
 ///    lifecycle events are recorded while `serve.state` (and never the
 ///    other way around), and recording must stay legal from any
 ///    publication path.
 pub const LOCK_ORDER: &[&str] = &[
+    "serve.watchdog",
     "serve.state",
     "flight.slot",
     "refine.progress",
@@ -175,6 +182,30 @@ impl OrderedCondvar {
         checker::acquire(guard.name);
         guard.guard = Some(raw);
         guard
+    }
+
+    /// Like [`OrderedCondvar::wait`], but gives up after `timeout`.
+    /// Returns the re-acquired guard plus whether the wait timed out
+    /// (spurious wake-ups and notifications both report `false`; the
+    /// caller re-checks its predicate either way).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: OrderedMutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (OrderedMutexGuard<'a, T>, bool) {
+        let raw = guard.guard.take().expect("guard held"); // qns-lint: allow(panic)
+        checker::release(guard.name);
+        let (raw, res) = self
+            .inner
+            .wait_timeout(raw, timeout)
+            .map(|(g, t)| (g, t.timed_out()))
+            .unwrap_or_else(|poisoned| {
+                let (g, t) = poisoned.into_inner();
+                (g, t.timed_out())
+            });
+        checker::acquire(guard.name);
+        guard.guard = Some(raw);
+        (guard, res)
     }
 
     /// Wakes one waiter.
